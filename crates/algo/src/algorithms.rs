@@ -1,0 +1,405 @@
+//! The five Table II algorithm instances.
+
+use crate::{AlgorithmKind, MonotonicAlgorithm};
+use cisgraph_types::{State, Weight};
+
+/// Point-to-Point Shortest Path: ⊕ `T = u.state + w`, ⊗ `MIN(T, v.state)`.
+///
+/// # Examples
+///
+/// ```
+/// use cisgraph_algo::{MonotonicAlgorithm, Ppsp};
+/// use cisgraph_types::{State, Weight};
+///
+/// # fn main() -> Result<(), cisgraph_types::TypeError> {
+/// assert_eq!(Ppsp::combine(State::ZERO, Weight::new(4.0)?).get(), 4.0);
+/// assert_eq!(Ppsp::unreached(), State::POS_INF);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Ppsp;
+
+impl MonotonicAlgorithm for Ppsp {
+    const NAME: &'static str = "PPSP";
+    const KIND: AlgorithmKind = AlgorithmKind::Ppsp;
+
+    #[inline]
+    fn unreached() -> State {
+        State::POS_INF
+    }
+
+    #[inline]
+    fn source_state() -> State {
+        State::ZERO
+    }
+
+    #[inline]
+    fn combine(u_state: State, w: Weight) -> State {
+        State::new_unchecked(u_state.get() + w.get())
+    }
+
+    #[inline]
+    fn concat(a: State, b: State) -> State {
+        State::new_unchecked(a.get() + b.get())
+    }
+
+    #[inline]
+    fn rank(state: State) -> State {
+        state
+    }
+}
+
+/// Point-to-Point Widest Path: ⊕ `T = min(u.state, w)`, ⊗ `MAX(T, v.state)`.
+///
+/// The state is the best bottleneck capacity from the source; the source
+/// itself has infinite capacity.
+///
+/// # Examples
+///
+/// ```
+/// use cisgraph_algo::{MonotonicAlgorithm, Ppwp};
+/// use cisgraph_types::{State, Weight};
+///
+/// # fn main() -> Result<(), cisgraph_types::TypeError> {
+/// let t = Ppwp::combine(State::new(5.0)?, Weight::new(3.0)?);
+/// assert_eq!(t.get(), 3.0); // bottleneck
+/// assert!(Ppwp::improves(t, State::ZERO));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Ppwp;
+
+impl MonotonicAlgorithm for Ppwp {
+    const NAME: &'static str = "PPWP";
+    const KIND: AlgorithmKind = AlgorithmKind::Ppwp;
+
+    #[inline]
+    fn unreached() -> State {
+        State::ZERO
+    }
+
+    #[inline]
+    fn source_state() -> State {
+        State::POS_INF
+    }
+
+    #[inline]
+    fn combine(u_state: State, w: Weight) -> State {
+        State::new_unchecked(u_state.get().min(w.get()))
+    }
+
+    #[inline]
+    fn concat(a: State, b: State) -> State {
+        State::new_unchecked(a.get().min(b.get()))
+    }
+
+    #[inline]
+    fn rank(state: State) -> State {
+        State::new_unchecked(-state.get())
+    }
+}
+
+/// Point-to-Point Narrowest Path: ⊕ `T = max(u.state, w)`, ⊗ `MIN(T, v.state)`.
+///
+/// The state is the smallest achievable maximum edge weight along a path;
+/// the source starts at `0` (no edge traversed yet), unreached is `∞`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Ppnp;
+
+impl MonotonicAlgorithm for Ppnp {
+    const NAME: &'static str = "PPNP";
+    const KIND: AlgorithmKind = AlgorithmKind::Ppnp;
+
+    #[inline]
+    fn unreached() -> State {
+        State::POS_INF
+    }
+
+    #[inline]
+    fn source_state() -> State {
+        State::ZERO
+    }
+
+    #[inline]
+    fn combine(u_state: State, w: Weight) -> State {
+        // max(∞, w) must stay ∞ so unreached sources never leak candidates;
+        // f64 max handles that naturally.
+        State::new_unchecked(u_state.get().max(w.get()))
+    }
+
+    #[inline]
+    fn concat(a: State, b: State) -> State {
+        State::new_unchecked(a.get().max(b.get()))
+    }
+
+    #[inline]
+    fn rank(state: State) -> State {
+        state
+    }
+}
+
+/// Viterbi most-likely path: ⊕ `T = u.state / w`, ⊗ `MAX(T, v.state)`.
+///
+/// Following Table II literally, the edge weight is the *inverse* transition
+/// probability `w = 1/p >= 1`, so `u.state / w = u.state · p` accumulates
+/// the path probability and ⊗ keeps the most likely one. The source has
+/// probability `1`, unreached vertices `0`.
+///
+/// # Panics
+///
+/// Debug builds assert `w >= 1`; with `w < 1` the combine step would
+/// *increase* probability and best-first convergence would be unsound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Viterbi;
+
+impl MonotonicAlgorithm for Viterbi {
+    const NAME: &'static str = "Viterbi";
+    const KIND: AlgorithmKind = AlgorithmKind::Viterbi;
+
+    #[inline]
+    fn unreached() -> State {
+        State::ZERO
+    }
+
+    #[inline]
+    fn source_state() -> State {
+        State::ONE
+    }
+
+    #[inline]
+    fn combine(u_state: State, w: Weight) -> State {
+        debug_assert!(
+            w.get() >= 1.0,
+            "viterbi weights are inverse probabilities >= 1"
+        );
+        State::new_unchecked(u_state.get() / w.get())
+    }
+
+    #[inline]
+    fn concat(a: State, b: State) -> State {
+        // 0 * inf would be NaN; an unreached leg makes the whole walk
+        // unreachable (probability 0).
+        if a.get() == 0.0 || b.get() == 0.0 {
+            State::ZERO
+        } else {
+            State::new_unchecked(a.get() * b.get())
+        }
+    }
+
+    #[inline]
+    fn rank(state: State) -> State {
+        State::new_unchecked(-state.get())
+    }
+}
+
+/// Reachability: ⊕ `T = u.state`, ⊗ `MAX(T, v.state)`.
+///
+/// State `1` means reachable from the source, `0` unknown. Propagation is a
+/// breadth-first wavefront, as in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Reach;
+
+impl MonotonicAlgorithm for Reach {
+    const NAME: &'static str = "Reach";
+    const KIND: AlgorithmKind = AlgorithmKind::Reach;
+
+    #[inline]
+    fn unreached() -> State {
+        State::ZERO
+    }
+
+    #[inline]
+    fn source_state() -> State {
+        State::ONE
+    }
+
+    #[inline]
+    fn combine(u_state: State, _w: Weight) -> State {
+        u_state
+    }
+
+    #[inline]
+    fn concat(a: State, b: State) -> State {
+        State::new_unchecked(a.get().min(b.get()))
+    }
+
+    #[inline]
+    fn rank(state: State) -> State {
+        State::new_unchecked(-state.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn s(x: f64) -> State {
+        State::new(x).unwrap()
+    }
+
+    fn w(x: f64) -> Weight {
+        Weight::new(x).unwrap()
+    }
+
+    #[test]
+    fn table_ii_ppsp() {
+        assert_eq!(Ppsp::combine(s(3.0), w(2.0)), s(5.0));
+        assert_eq!(Ppsp::select(s(5.0), s(7.0)), s(5.0));
+        assert_eq!(Ppsp::select(s(7.0), s(5.0)), s(5.0));
+    }
+
+    #[test]
+    fn table_ii_ppwp() {
+        assert_eq!(Ppwp::combine(s(5.0), w(3.0)), s(3.0));
+        assert_eq!(Ppwp::combine(s(2.0), w(3.0)), s(2.0));
+        assert_eq!(Ppwp::select(s(3.0), s(2.0)), s(3.0)); // max
+    }
+
+    #[test]
+    fn table_ii_ppnp() {
+        assert_eq!(Ppnp::combine(s(5.0), w(3.0)), s(5.0));
+        assert_eq!(Ppnp::combine(s(2.0), w(3.0)), s(3.0));
+        assert_eq!(Ppnp::select(s(3.0), s(5.0)), s(3.0)); // min
+    }
+
+    #[test]
+    fn table_ii_viterbi() {
+        // w = 1/p = 4 means p = 0.25
+        assert_eq!(Viterbi::combine(s(1.0), w(4.0)), s(0.25));
+        assert_eq!(Viterbi::select(s(0.25), s(0.1)), s(0.25)); // max
+    }
+
+    #[test]
+    fn table_ii_reach() {
+        assert_eq!(Reach::combine(s(1.0), w(9.0)), s(1.0));
+        assert_eq!(Reach::combine(s(0.0), w(9.0)), s(0.0));
+        assert_eq!(Reach::select(s(1.0), s(0.0)), s(1.0));
+    }
+
+    #[test]
+    fn concat_semantics() {
+        assert_eq!(Ppsp::concat(s(2.0), s(3.0)), s(5.0));
+        assert_eq!(Ppwp::concat(s(2.0), s(3.0)), s(2.0));
+        assert_eq!(Ppnp::concat(s(2.0), s(3.0)), s(3.0));
+        assert_eq!(Viterbi::concat(s(0.5), s(0.5)), s(0.25));
+        assert_eq!(Reach::concat(s(1.0), s(0.0)), s(0.0));
+        // An unreached Viterbi leg never produces NaN.
+        assert_eq!(Viterbi::concat(State::ZERO, State::POS_INF), State::ZERO);
+    }
+
+    #[test]
+    fn source_state_is_concat_identity() {
+        for x in [0.5, 1.0, 7.0] {
+            assert_eq!(Ppsp::concat(Ppsp::source_state(), s(x)), s(x));
+            assert_eq!(Ppwp::concat(Ppwp::source_state(), s(x)), s(x));
+            assert_eq!(Ppnp::concat(Ppnp::source_state(), s(x)), s(x));
+            assert_eq!(Viterbi::concat(Viterbi::source_state(), s(x)), s(x));
+        }
+        assert_eq!(Reach::concat(Reach::source_state(), s(1.0)), s(1.0));
+    }
+
+    #[test]
+    fn unreached_absorbs() {
+        // Combining from an unreached vertex never improves on unreached.
+        let wt = w(2.0);
+        assert!(!Ppsp::improves(
+            Ppsp::combine(Ppsp::unreached(), wt),
+            Ppsp::unreached()
+        ));
+        assert!(!Ppwp::improves(
+            Ppwp::combine(Ppwp::unreached(), wt),
+            Ppwp::unreached()
+        ));
+        assert!(!Ppnp::improves(
+            Ppnp::combine(Ppnp::unreached(), wt),
+            Ppnp::unreached()
+        ));
+        assert!(!Viterbi::improves(
+            Viterbi::combine(Viterbi::unreached(), wt),
+            Viterbi::unreached()
+        ));
+        assert!(!Reach::improves(
+            Reach::combine(Reach::unreached(), wt),
+            Reach::unreached()
+        ));
+    }
+
+    #[test]
+    fn source_beats_unreached() {
+        assert!(Ppsp::improves(Ppsp::source_state(), Ppsp::unreached()));
+        assert!(Ppwp::improves(Ppwp::source_state(), Ppwp::unreached()));
+        assert!(Ppnp::improves(Ppnp::source_state(), Ppnp::unreached()));
+        assert!(Viterbi::improves(
+            Viterbi::source_state(),
+            Viterbi::unreached()
+        ));
+        assert!(Reach::improves(Reach::source_state(), Reach::unreached()));
+    }
+
+    #[test]
+    fn supports_detects_supporting_edge() {
+        // PPSP: 3 + 2 == 5 supports; 3 + 2 != 6 does not.
+        assert!(Ppsp::supports(s(3.0), w(2.0), s(5.0)));
+        assert!(!Ppsp::supports(s(3.0), w(2.0), s(6.0)));
+        // Unreached v is never supported.
+        assert!(!Ppsp::supports(
+            Ppsp::unreached(),
+            w(2.0),
+            Ppsp::unreached()
+        ));
+        assert!(!Reach::supports(s(0.0), w(2.0), Reach::unreached()));
+    }
+
+    /// Weight strategy: integers 1..=64 as used by the workload generator.
+    fn weight_strategy() -> impl Strategy<Value = Weight> {
+        (1u32..=64).prop_map(|x| Weight::new(f64::from(x)).unwrap())
+    }
+
+    fn state_strategy() -> impl Strategy<Value = State> {
+        (0.0f64..1e6).prop_map(|x| State::new(x).unwrap())
+    }
+
+    macro_rules! monotonicity_props {
+        ($name:ident, $algo:ty) => {
+            mod $name {
+                use super::*;
+
+                proptest! {
+                    /// Property 1: combining never improves on the input state.
+                    #[test]
+                    fn combine_never_improves(st in state_strategy(), wt in weight_strategy()) {
+                        let c = <$algo>::combine(st, wt);
+                        prop_assert!(!<$algo>::improves(c, st),
+                            "combine({st}, {wt}) = {c} improved on the input");
+                    }
+
+                    /// Property 2: combine is monotone in the state argument.
+                    #[test]
+                    fn combine_is_monotone(a in state_strategy(), b in state_strategy(), wt in weight_strategy()) {
+                        let (better, worse) = if <$algo>::rank(a) <= <$algo>::rank(b) { (a, b) } else { (b, a) };
+                        let cb = <$algo>::combine(better, wt);
+                        let cw = <$algo>::combine(worse, wt);
+                        prop_assert!(<$algo>::rank(cb) <= <$algo>::rank(cw));
+                    }
+
+                    /// select is idempotent and commutatively picks the best rank.
+                    #[test]
+                    fn select_picks_best_rank(a in state_strategy(), b in state_strategy()) {
+                        let sel = <$algo>::select(a, b);
+                        prop_assert_eq!(<$algo>::rank(sel),
+                            std::cmp::min(<$algo>::rank(a), <$algo>::rank(b)));
+                    }
+                }
+            }
+        };
+    }
+
+    monotonicity_props!(ppsp_props, Ppsp);
+    monotonicity_props!(ppwp_props, Ppwp);
+    monotonicity_props!(ppnp_props, Ppnp);
+    monotonicity_props!(viterbi_props, Viterbi);
+    monotonicity_props!(reach_props, Reach);
+}

@@ -1,0 +1,209 @@
+//! Bucket-based (delta-stepping) solver variant.
+//!
+//! Meyer & Sanders' delta-stepping relaxes vertices in rank buckets of
+//! width `delta` instead of one at a time from a priority queue, trading a
+//! little re-relaxation for much cheaper queue operations — the standard
+//! software-parallel SSSP formulation, included here both as an alternative
+//! Cold-Start substrate and as another independent implementation to
+//! cross-validate [`crate::solver::best_first`] against.
+//!
+//! The generalization over [`MonotonicAlgorithm`] buckets by *rank*: bucket
+//! `i` holds vertices whose rank lies in `[base + i·delta, base + (i+1)·delta)`
+//! where `base` is the source's rank. This requires a finite source rank,
+//! which holds for PPSP, PPNP, Viterbi, and Reach; PPWP's source rank is
+//! `-∞` (infinite capacity), so it is rejected.
+
+use crate::incremental::ConvergedResult;
+use crate::{Counters, MonotonicAlgorithm};
+use cisgraph_graph::GraphView;
+use cisgraph_types::VertexId;
+
+/// Converges all states reachable from `source` using delta-stepping with
+/// rank-bucket width `delta`.
+///
+/// Produces exactly the same states (and witness-consistent parents) as
+/// [`crate::solver::best_first`]; tested against it for every supported
+/// algorithm.
+///
+/// # Panics
+///
+/// Panics if `source` is out of bounds, if `delta <= 0`, or if the
+/// algorithm's source rank is not finite (PPWP).
+///
+/// # Examples
+///
+/// ```
+/// use cisgraph_algo::{delta_stepping, Counters, Ppsp};
+/// use cisgraph_graph::DynamicGraph;
+/// use cisgraph_types::{EdgeUpdate, VertexId, Weight};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = DynamicGraph::new(3);
+/// g.apply(EdgeUpdate::insert(VertexId::new(0), VertexId::new(1), Weight::new(2.0)?))?;
+/// g.apply(EdgeUpdate::insert(VertexId::new(1), VertexId::new(2), Weight::new(2.0)?))?;
+/// let r = delta_stepping::<Ppsp, _>(&g, VertexId::new(0), 8.0, &mut Counters::new());
+/// assert_eq!(r.state(VertexId::new(2)).get(), 4.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn delta_stepping<A: MonotonicAlgorithm, G: GraphView>(
+    graph: &G,
+    source: VertexId,
+    delta: f64,
+    counters: &mut Counters,
+) -> ConvergedResult<A> {
+    assert!(delta > 0.0, "delta must be positive, got {delta}");
+    let base = A::rank(A::source_state()).get();
+    assert!(
+        base.is_finite(),
+        "{} has a non-finite source rank; delta-stepping needs a finite bucket origin",
+        A::NAME
+    );
+
+    let mut result = ConvergedResult::<A>::fresh(graph.num_vertices(), source);
+    let bucket_of = |rank: f64| -> usize {
+        debug_assert!(rank >= base - 1e-9, "rank below bucket origin");
+        (((rank - base) / delta).max(0.0)) as usize
+    };
+
+    let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new()];
+    let mut queued = vec![false; graph.num_vertices()];
+    buckets[0].push(source);
+    queued[source.index()] = true;
+
+    let mut current = 0usize;
+    while current < buckets.len() {
+        // Repeatedly drain the current bucket: relaxations may re-insert
+        // vertices into it (short edges), which is delta-stepping's inner
+        // loop.
+        while let Some(u) = buckets[current].pop() {
+            queued[u.index()] = false;
+            let u_rank = A::rank(result.state(u)).get();
+            // A stale entry whose vertex improved into an earlier bucket is
+            // fine (already settled or will re-queue); one that belongs to
+            // a later bucket is deferred.
+            let home = bucket_of(u_rank);
+            if home > current {
+                if home >= buckets.len() {
+                    buckets.resize_with(home + 1, Vec::new);
+                }
+                if !queued[u.index()] {
+                    queued[u.index()] = true;
+                    buckets[home].push(u);
+                }
+                continue;
+            }
+            let u_state = result.state(u);
+            for edge in graph.out_edges(u) {
+                counters.computations += 1;
+                let candidate = A::combine(u_state, edge.weight());
+                let v = edge.to();
+                if A::improves(candidate, result.state(v)) {
+                    result.set_state(v, candidate, Some(u));
+                    counters.activations += 1;
+                    // The bucket sweep never moves backwards, so an
+                    // improvement whose rank falls before the current
+                    // bucket is queued here instead — drain order does not
+                    // affect the monotone fixpoint.
+                    let b = bucket_of(A::rank(candidate).get()).max(current);
+                    if b >= buckets.len() {
+                        buckets.resize_with(b + 1, Vec::new);
+                    }
+                    if !queued[v.index()] {
+                        queued[v.index()] = true;
+                        buckets[b].push(v);
+                    }
+                }
+            }
+        }
+        current += 1;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::best_first;
+    use crate::{Ppnp, Ppsp, Reach, Viterbi};
+    use cisgraph_datasets::erdos_renyi;
+    use cisgraph_datasets::weights::WeightDistribution;
+    use cisgraph_graph::DynamicGraph;
+    use cisgraph_types::Weight;
+
+    fn v(x: u32) -> VertexId {
+        VertexId::new(x)
+    }
+
+    #[test]
+    fn matches_best_first_on_random_graphs() {
+        for seed in 0..5u64 {
+            let edges = erdos_renyi::generate(80, 500, WeightDistribution::paper_default(), seed);
+            let g = DynamicGraph::from_edges(80, edges);
+            macro_rules! check {
+                ($a:ty, $delta:expr) => {{
+                    let ds = delta_stepping::<$a, _>(&g, v(0), $delta, &mut Counters::new());
+                    let bf = best_first::<$a, _>(&g, v(0), &mut Counters::new());
+                    for i in 0..80u32 {
+                        assert_eq!(
+                            ds.state(v(i)),
+                            bf.state(v(i)),
+                            "{} seed {seed} vertex {i}",
+                            <$a as MonotonicAlgorithm>::NAME
+                        );
+                    }
+                }};
+            }
+            check!(Ppsp, 16.0);
+            check!(Ppnp, 8.0);
+            check!(Viterbi, 0.05);
+            check!(Reach, 0.5);
+        }
+    }
+
+    #[test]
+    fn different_deltas_agree() {
+        let edges = erdos_renyi::generate(60, 360, WeightDistribution::paper_default(), 9);
+        let g = DynamicGraph::from_edges(60, edges);
+        let a = delta_stepping::<Ppsp, _>(&g, v(0), 1.0, &mut Counters::new());
+        let b = delta_stepping::<Ppsp, _>(&g, v(0), 1000.0, &mut Counters::new());
+        for i in 0..60u32 {
+            assert_eq!(a.state(v(i)), b.state(v(i)), "vertex {i}");
+        }
+    }
+
+    #[test]
+    fn tiny_chain() {
+        let mut g = DynamicGraph::new(3);
+        g.insert_edge(v(0), v(1), Weight::new(3.0).unwrap())
+            .unwrap();
+        g.insert_edge(v(1), v(2), Weight::new(4.0).unwrap())
+            .unwrap();
+        let r = delta_stepping::<Ppsp, _>(&g, v(0), 2.0, &mut Counters::new());
+        assert_eq!(r.state(v(2)).get(), 7.0);
+        assert_eq!(r.parent(v(2)), Some(v(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be positive")]
+    fn zero_delta_panics() {
+        let g = DynamicGraph::new(2);
+        let _ = delta_stepping::<Ppsp, _>(&g, v(0), 0.0, &mut Counters::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite source rank")]
+    fn ppwp_is_rejected() {
+        use crate::Ppwp;
+        let g = DynamicGraph::new(2);
+        let _ = delta_stepping::<Ppwp, _>(&g, v(0), 1.0, &mut Counters::new());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DynamicGraph::new(4);
+        let r = delta_stepping::<Ppsp, _>(&g, v(2), 4.0, &mut Counters::new());
+        assert!(r.is_reached(v(2)));
+        assert!(!r.is_reached(v(0)));
+    }
+}

@@ -1,0 +1,79 @@
+//! Ablation: classification on vs off.
+//!
+//! Compares CISGraph-O (Algorithm 1 classification + priority scheduling)
+//! against the contribution-unaware incremental engine under both deletion
+//! policies: dependence tagging (KickStarter-style) and reachability reset
+//! (GraphFly-style, the prior-work baseline of Fig. 2).
+
+use cisgraph_algo::Ppsp;
+use cisgraph_bench::naive::{DeletionPolicy, NaiveIncremental};
+use cisgraph_bench::{build_workload, run_engine, EngineSel, RunConfig};
+use cisgraph_datasets::registry;
+use cisgraph_engines::{CisGraphO, Coalescing, StreamingEngine};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_classify(c: &mut Criterion) {
+    let cfg = RunConfig::quick(registry::orkut_like());
+    let bundle = build_workload(&cfg);
+    let batch = &bundle.batches[0];
+    let query = bundle.queries[0];
+
+    let mut group = c.benchmark_group("ablation/classification");
+    group.sample_size(10);
+
+    group.bench_function("ciso_classified", |b| {
+        b.iter(|| {
+            let mut graph = bundle.initial.clone();
+            let mut engine = CisGraphO::<Ppsp>::new(&graph, query);
+            graph.apply_batch(batch).expect("consistent");
+            black_box(engine.process_batch(&graph, batch))
+        });
+    });
+
+    group.bench_function("coalescing_jetstream_like", |b| {
+        b.iter(|| {
+            let mut graph = bundle.initial.clone();
+            let mut engine = Coalescing::<Ppsp>::new(&graph, query);
+            graph.apply_batch(batch).expect("consistent");
+            black_box(engine.process_batch(&graph, batch))
+        });
+    });
+
+    group.bench_function("naive_dependence_tag", |b| {
+        b.iter(|| {
+            let mut graph = bundle.initial.clone();
+            let mut engine =
+                NaiveIncremental::<Ppsp>::with_policy(&graph, query, DeletionPolicy::DependenceTag);
+            graph.apply_batch(batch).expect("consistent");
+            black_box(engine.process_batch_instrumented(&graph, batch))
+        });
+    });
+
+    group.bench_function("naive_reachability_reset", |b| {
+        b.iter(|| {
+            let mut graph = bundle.initial.clone();
+            let mut engine = NaiveIncremental::<Ppsp>::with_policy(
+                &graph,
+                query,
+                DeletionPolicy::ReachabilityReset,
+            );
+            graph.apply_batch(batch).expect("consistent");
+            black_box(engine.process_batch_instrumented(&graph, batch))
+        });
+    });
+    group.finish();
+
+    // One-shot: where the accelerator spends its work with classification.
+    let accel = run_engine::<Ppsp>(&cfg, &bundle, EngineSel::Accel, None);
+    if let Some(cls) = accel.classification {
+        eprintln!(
+            "ablation_classify: dropped {} of {} updates before propagation",
+            cls.useless(),
+            cls.total()
+        );
+    }
+}
+
+criterion_group!(benches, bench_classify);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Ablation: what the contribution-driven scheduling buys.
+//!
+//! * **Early response** — the accelerator answers when no valuable update
+//!   remains; the delayed drain continues afterwards. We report both cycle
+//!   counts once and benchmark the simulation; the gap (`response <
+//!   total`) is the scheduling win the paper's preemptive buffer delivers.
+//! * **Pipeline scaling** — response latency at 1/4 pipelines.
+
+use cisgraph_algo::Ppsp;
+use cisgraph_bench::{build_workload, run_engine, EngineSel, RunConfig};
+use cisgraph_datasets::registry;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_scheduling(c: &mut Criterion) {
+    let cfg = RunConfig::quick(registry::orkut_like());
+    let bundle = build_workload(&cfg);
+
+    // One-shot report: early response vs total drain, and the same workload
+    // with contribution scheduling disabled (JetStream-style ablation).
+    let r = run_engine::<Ppsp>(&cfg, &bundle, EngineSel::Accel, None);
+    eprintln!(
+        "ablation_scheduling: early response {:.3} us vs total {:.3} us (simulated, mean/batch)",
+        r.response_seconds * 1e6,
+        r.total_seconds * 1e6
+    );
+    let mut unscheduled = cfg.clone();
+    unscheduled.accel = unscheduled.accel.without_contribution_scheduling();
+    let u = run_engine::<Ppsp>(&unscheduled, &bundle, EngineSel::Accel, None);
+    eprintln!(
+        "ablation_scheduling: without contribution scheduling, response {:.3} us ({:.2}x slower)",
+        u.response_seconds * 1e6,
+        u.response_seconds / r.response_seconds.max(1e-12)
+    );
+
+    let mut group = c.benchmark_group("ablation/scheduling");
+    group.sample_size(10);
+    for pipelines in [1usize, 4] {
+        let mut cfg2 = cfg.clone();
+        cfg2.accel = cfg2.accel.with_pipelines(pipelines);
+        group.bench_function(format!("accel_{pipelines}_pipelines"), |b| {
+            b.iter(|| black_box(run_engine::<Ppsp>(&cfg2, &bundle, EngineSel::Accel, None)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduling);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Component micro-benchmarks: the substrate pieces every experiment rests
+//! on — DRAM timing model, scratchpad lookups, CSR construction, the
+//! best-first solver, and streaming batch generation.
+
+use cisgraph_algo::{solver, Counters, Ppsp};
+use cisgraph_datasets::rmat::RmatConfig;
+use cisgraph_datasets::StreamConfig;
+use cisgraph_graph::{Csr, DynamicGraph};
+use cisgraph_sim::{DramConfig, DramModel, Spm, SpmConfig};
+use cisgraph_types::VertexId;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_dram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components/dram");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("random_reads", |b| {
+        let mut dram = DramModel::new(DramConfig::ddr4_3200());
+        let mut now = 0;
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            now = dram.read(black_box(addr % (1 << 30)), 64, now);
+            black_box(now)
+        });
+    });
+    group.bench_function("streaming_bursts", |b| {
+        let mut dram = DramModel::new(DramConfig::ddr4_3200());
+        let mut now = 0;
+        let mut addr = 0u64;
+        b.iter(|| {
+            now = dram.read(black_box(addr), 4096, now);
+            addr += 4096;
+            black_box(now)
+        });
+    });
+    group.finish();
+}
+
+fn bench_spm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components/spm");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("hot_reads", |b| {
+        let mut spm = Spm::new(SpmConfig::date2025());
+        spm.read(0, 64);
+        b.iter(|| black_box(spm.read(black_box(0), 8)));
+    });
+    group.bench_function("thrashing_reads", |b| {
+        let mut spm = Spm::new(SpmConfig::date2025().with_capacity(1024 * 1024));
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(1 << 20).wrapping_mul(31).wrapping_add(64);
+            black_box(spm.read(black_box(addr % (1 << 28)), 8))
+        });
+    });
+    group.finish();
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let edges = RmatConfig::social(14, 8).generate(1);
+    let n = 1 << 14;
+    let mut group = c.benchmark_group("components/graph");
+    group.throughput(Throughput::Elements(edges.len() as u64));
+    group.bench_function("csr_build", |b| {
+        b.iter(|| black_box(Csr::from_edge_triples(n, black_box(edges.clone()))));
+    });
+    group.bench_function("dynamic_build", |b| {
+        b.iter(|| black_box(DynamicGraph::from_edges(n, black_box(edges.clone()))));
+    });
+    group.sample_size(20);
+    let g = DynamicGraph::from_edges(n, edges.clone());
+    group.bench_function("best_first_ppsp", |b| {
+        b.iter(|| {
+            let mut counters = Counters::new();
+            black_box(solver::best_first::<Ppsp, _>(
+                &g,
+                VertexId::new(0),
+                &mut counters,
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let edges = RmatConfig::social(13, 8).generate(3);
+    let mut group = c.benchmark_group("components/workload");
+    group.bench_function("rmat_generate_s13", |b| {
+        b.iter(|| black_box(RmatConfig::social(13, 8).generate(black_box(5))));
+    });
+    group.bench_function("stream_split_and_batch", |b| {
+        b.iter(|| {
+            let mut w = StreamConfig::paper_default()
+                .with_batch_size(500, 500)
+                .build(black_box(edges.clone()), 9);
+            black_box(w.next_batch())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dram, bench_spm, bench_graph, bench_workload);
+criterion_main!(benches);

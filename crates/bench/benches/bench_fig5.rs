@@ -1,0 +1,39 @@
+//! Criterion companion to Fig. 5: accelerator batch simulation latency and
+//! a one-shot printout of the computation/activation statistics the two
+//! figure panels plot. Full figures: `cargo run -p cisgraph-bench --bin
+//! fig5a` / `fig5b`.
+
+use cisgraph_algo::Ppsp;
+use cisgraph_bench::{build_workload, run_engine, EngineSel, RunConfig};
+use cisgraph_datasets::registry;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let cfg = RunConfig::quick(registry::orkut_like());
+    let bundle = build_workload(&cfg);
+
+    // One-shot statistics (the quantities Fig. 5 plots).
+    let cs = run_engine::<Ppsp>(&cfg, &bundle, EngineSel::Cs, None);
+    let accel = run_engine::<Ppsp>(&cfg, &bundle, EngineSel::Accel, None);
+    eprintln!(
+        "fig5a (quick): computations CS {} vs CISGraph {} (normalized {:.3})",
+        cs.counters.computations,
+        accel.counters.computations,
+        accel.counters.computations as f64 / cs.counters.computations.max(1) as f64
+    );
+    eprintln!(
+        "fig5b (quick): activations additions {} vs deletions {}",
+        accel.addition_activations, accel.deletion_activations
+    );
+
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("accelerator_batch_sim", |b| {
+        b.iter(|| black_box(run_engine::<Ppsp>(&cfg, &bundle, EngineSel::Accel, None)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

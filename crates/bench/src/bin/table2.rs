@@ -1,0 +1,46 @@
+//! Table II — the five monotonic algorithms' ⊕ and ⊗, demonstrated live.
+//!
+//! For each algorithm the ⊕/⊗ formulas are printed together with a worked
+//! evaluation on `u.state = 6, w = 2, v.state = 5`, computed by the actual
+//! implementations so the table is guaranteed to match the code.
+
+use cisgraph_algo::{MonotonicAlgorithm, Ppnp, Ppsp, Ppwp, Reach, Viterbi};
+use cisgraph_bench::Table;
+use cisgraph_types::{State, Weight};
+
+fn demo<A: MonotonicAlgorithm>(oplus: &str, otimes: &str, t: &mut Table) {
+    let u = State::new(6.0).expect("finite");
+    let w = Weight::new(2.0).expect("positive");
+    let v = State::new(5.0).expect("finite");
+    let combined = A::combine(u, w);
+    let selected = A::select(combined, v);
+    t.row(vec![
+        A::NAME.into(),
+        oplus.into(),
+        otimes.into(),
+        format!("T = {combined}"),
+        format!("v' = {selected}"),
+    ]);
+}
+
+fn main() {
+    let mut t = Table::new(vec![
+        "Algorithm".into(),
+        "⊕".into(),
+        "⊗".into(),
+        "⊕(6, 2)".into(),
+        "⊗(T, 5)".into(),
+    ]);
+    demo::<Ppsp>("T = u.state + w", "MIN(T, v.state)", &mut t);
+    demo::<Ppwp>("T = min(u.state, w)", "MAX(T, v.state)", &mut t);
+    demo::<Ppnp>("T = max(u.state, w)", "MIN(T, v.state)", &mut t);
+    demo::<Viterbi>("T = u.state / w", "MAX(T, v.state)", &mut t);
+    demo::<Reach>("T = u.state", "MAX(T, v.state)", &mut t);
+
+    println!("Table II: five monotonic graph algorithms (⊕/⊗ for u --w--> v)\n");
+    println!("{}", t.render());
+    println!(
+        "Viterbi weights are inverse transition probabilities (w = 1/p >= 1),\n\
+         so T = u.state / w accumulates the path probability, per DESIGN.md."
+    );
+}

@@ -1,0 +1,113 @@
+//! Table IV — execution speedup of SGraph, CISGraph-O, and CISGraph over
+//! the Cold-Start baseline: 5 algorithms × 3 datasets + geometric mean.
+//!
+//! Software engines are measured in host wall-clock time; the accelerator
+//! in simulated cycles at 1 GHz. Both are normalized to the CS row, exactly
+//! as the paper normalizes everything to its own CS baseline, so the table
+//! is comparable in *shape* (ordering, rough factors) even though our host
+//! differs from the paper's Xeon Gold 6254.
+//!
+//! ```text
+//! cargo run -p cisgraph-bench --release --bin table4 -- --scale 0.01 --adds 2000 --dels 2000
+//! cargo run -p cisgraph-bench --release --bin table4 -- --full      # paper-size batches
+//! ```
+
+use cisgraph_algo::{MonotonicAlgorithm, Ppnp, Ppsp, Ppwp, Reach, Viterbi};
+use cisgraph_bench::args::Args;
+use cisgraph_bench::table::{fmt_speedup, geometric_mean};
+use cisgraph_bench::{build_workload, run_engines, AlgoResults, EngineSel, RunConfig, Table};
+use cisgraph_datasets::registry;
+
+fn run_for<A: MonotonicAlgorithm>(args: &Args) -> Vec<AlgoResults> {
+    registry::all()
+        .into_iter()
+        .map(|ds| {
+            let cfg = RunConfig::default_run(ds).with_args(args);
+            eprintln!(
+                "  [{} / {}] scale {}, {}+{} x {} batches, {} queries ...",
+                A::NAME,
+                cfg.dataset.abbrev,
+                cfg.scale,
+                cfg.additions,
+                cfg.deletions,
+                cfg.batches,
+                cfg.queries
+            );
+            let bundle = build_workload(&cfg);
+            run_engines::<A>(&cfg, &bundle, &EngineSel::TABLE4)
+        })
+        .collect()
+}
+
+fn emit(table: &mut Table, algo: &str, per_dataset: &[AlgoResults], engine: &'static str) {
+    let mut cells = vec![algo.to_string(), engine.to_string()];
+    let mut speedups = Vec::new();
+    for r in per_dataset {
+        let s = r.speedup_over_cs(engine).unwrap_or(f64::NAN);
+        speedups.push(s);
+        cells.push(fmt_speedup(s));
+    }
+    let gmean = geometric_mean(&speedups)
+        .map(fmt_speedup)
+        .unwrap_or_else(|| "-".into());
+    cells.push(gmean);
+    table.row(cells);
+}
+
+fn main() {
+    let args = Args::parse();
+    // `--algo ppsp|ppwp|ppnp|viterbi|reach` restricts the run (default: all).
+    let only = args.get_str("algo").map(str::to_ascii_lowercase);
+    let wants = |name: &str| only.as_deref().is_none_or(|a| a == name);
+    let mut table = Table::new(vec![
+        "Algorithm".into(),
+        "Engine".into(),
+        "OR".into(),
+        "LJ".into(),
+        "UK".into(),
+        "GMean".into(),
+    ]);
+    let mut json = Vec::new();
+
+    macro_rules! run_algo {
+        ($a:ty) => {{
+            if wants(&<$a as MonotonicAlgorithm>::NAME.to_ascii_lowercase()) {
+                let results = run_for::<$a>(&args);
+                emit(&mut table, <$a as MonotonicAlgorithm>::NAME, &results, "CS");
+                emit(
+                    &mut table,
+                    <$a as MonotonicAlgorithm>::NAME,
+                    &results,
+                    "SGraph",
+                );
+                emit(
+                    &mut table,
+                    <$a as MonotonicAlgorithm>::NAME,
+                    &results,
+                    "CISGraph-O",
+                );
+                emit(
+                    &mut table,
+                    <$a as MonotonicAlgorithm>::NAME,
+                    &results,
+                    "CISGraph",
+                );
+                json.extend(results);
+            }
+        }};
+    }
+    run_algo!(Ppsp);
+    run_algo!(Ppwp);
+    run_algo!(Ppnp);
+    run_algo!(Viterbi);
+    run_algo!(Reach);
+
+    println!("\nTable IV: execution speedup over the CS baseline (response time)\n");
+    println!("{}", table.render());
+    println!(
+        "Expected shape (paper): CISGraph >> CISGraph-O > SGraph on average;\n\
+         SGraph varies widely across queries and can drop below 1x (e.g. Reach)."
+    );
+
+    cisgraph_bench::artifacts::write_json("table4", &json);
+}

@@ -1,0 +1,621 @@
+//! The central experiment runner shared by all table/figure binaries and
+//! the Criterion benches.
+
+use crate::args::Args;
+use cisgraph_algo::classify::ClassificationSummary;
+use cisgraph_algo::{Counters, MonotonicAlgorithm};
+use cisgraph_core::{AcceleratorConfig, CisGraphAccel};
+use cisgraph_datasets::{queries, Dataset, StreamConfig};
+use cisgraph_engines::{CisGraphO, ColdStart, Pnp, SGraph, SGraphConfig, StreamingEngine};
+use cisgraph_graph::DynamicGraph;
+use cisgraph_sim::MemStats;
+use cisgraph_types::{EdgeUpdate, PairQuery};
+use serde::Serialize;
+
+/// Which engine to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineSel {
+    /// Cold-Start full recomputation.
+    Cs,
+    /// SGraph hub-bound pruning.
+    SGraph,
+    /// PnP upper-bound pruning.
+    Pnp,
+    /// CISGraph-O software workflow.
+    Ciso,
+    /// CISGraph accelerator (simulated cycles).
+    Accel,
+}
+
+impl EngineSel {
+    /// All engines of Table IV plus the PnP extra, in presentation order.
+    pub const TABLE4: [EngineSel; 4] = [
+        EngineSel::Cs,
+        EngineSel::SGraph,
+        EngineSel::Ciso,
+        EngineSel::Accel,
+    ];
+
+    /// The engine's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Cs => "CS",
+            Self::SGraph => "SGraph",
+            Self::Pnp => "PnP",
+            Self::Ciso => "CISGraph-O",
+            Self::Accel => "CISGraph",
+        }
+    }
+}
+
+/// One experiment's configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Dataset stand-in descriptor.
+    pub dataset: Dataset,
+    /// Scale factor (fraction of the real dataset's vertex count).
+    pub scale: f64,
+    /// Edge additions per batch.
+    pub additions: usize,
+    /// Edge deletions per batch.
+    pub deletions: usize,
+    /// Batches streamed per query.
+    pub batches: usize,
+    /// Pairwise queries averaged over (the paper uses 10).
+    pub queries: usize,
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// SGraph hub count (the paper uses 16).
+    pub hubs: usize,
+    /// Accelerator configuration (Table I by default).
+    pub accel: AcceleratorConfig,
+    /// Load edges from this file (SNAP-style `src dst [weight]` text)
+    /// instead of synthesizing the stand-in. For users who have the real
+    /// Orkut/LiveJournal/UK-2002 datasets.
+    pub edges_file: Option<std::path::PathBuf>,
+}
+
+impl RunConfig {
+    /// A scaled-down default that runs each algorithm/dataset combination
+    /// in seconds: 1 % vertex scale, 2K + 2K batches, 5 queries.
+    pub fn default_run(dataset: Dataset) -> Self {
+        Self {
+            dataset,
+            scale: 0.01,
+            additions: 2000,
+            deletions: 2000,
+            batches: 2,
+            queries: 5,
+            seed: 42,
+            hubs: 16,
+            accel: AcceleratorConfig::date2025(),
+            edges_file: None,
+        }
+    }
+
+    /// A tiny configuration for Criterion benches and smoke tests.
+    pub fn quick(dataset: Dataset) -> Self {
+        Self {
+            dataset,
+            scale: 0.002,
+            additions: 300,
+            deletions: 300,
+            batches: 1,
+            queries: 2,
+            seed: 42,
+            hubs: 8,
+            accel: AcceleratorConfig::date2025(),
+            edges_file: None,
+        }
+    }
+
+    /// Applies the shared CLI overrides (`--scale`, `--adds`, `--dels`,
+    /// `--batches`, `--queries`, `--seed`, `--full`).
+    #[must_use]
+    pub fn with_args(mut self, args: &Args) -> Self {
+        if args.flag("full") {
+            self.additions = 50_000;
+            self.deletions = 50_000;
+            self.scale = self.scale.max(0.05);
+            self.queries = 10;
+        }
+        if let Some(s) = args.get_f64("scale") {
+            self.scale = s;
+        }
+        if let Some(x) = args.get_usize("adds") {
+            self.additions = x;
+        }
+        if let Some(x) = args.get_usize("dels") {
+            self.deletions = x;
+        }
+        if let Some(x) = args.get_usize("batches") {
+            self.batches = x;
+        }
+        if let Some(x) = args.get_usize("queries") {
+            self.queries = x;
+        }
+        if let Some(x) = args.get_u64("seed") {
+            self.seed = x;
+        }
+        if let Some(path) = args.get_str("edges") {
+            self.edges_file = Some(std::path::PathBuf::from(path));
+        }
+        self
+    }
+}
+
+/// A generated workload: initial snapshot, update batches, and query pairs.
+#[derive(Debug, Clone)]
+pub struct WorkloadBundle {
+    /// Vertex-set size spanning all batches.
+    pub num_vertices: usize,
+    /// The initial snapshot `G0` (50 % of edges, per §IV-A).
+    pub initial: DynamicGraph,
+    /// Pre-generated update batches.
+    pub batches: Vec<Vec<EdgeUpdate>>,
+    /// The random pairwise queries.
+    pub queries: Vec<PairQuery>,
+}
+
+/// Generates the workload for a configuration (deterministic in the seed).
+///
+/// # Panics
+///
+/// Panics if the configuration cannot produce even one batch (dataset too
+/// small for the requested batch sizes).
+pub fn build_workload(cfg: &RunConfig) -> WorkloadBundle {
+    let edges = match &cfg.edges_file {
+        Some(path) => {
+            let file = std::fs::File::open(path)
+                .unwrap_or_else(|e| panic!("cannot open {}: {e}", path.display()));
+            cisgraph_graph::read_edge_list(std::io::BufReader::new(file))
+                .unwrap_or_else(|e| panic!("cannot parse {}: {e}", path.display()))
+        }
+        None => cfg.dataset.generate(cfg.scale, cfg.seed),
+    };
+    let mut stream = StreamConfig::paper_default()
+        .with_batch_size(cfg.additions, cfg.deletions)
+        .build(edges, cfg.seed.wrapping_add(1));
+    let num_vertices = stream.num_vertices();
+    let mut initial = DynamicGraph::new(num_vertices);
+    for &(u, v, w) in stream.initial_edges() {
+        initial
+            .insert_edge(u, v, w)
+            .expect("initial edges are in bounds by construction");
+    }
+    let mut batches = Vec::with_capacity(cfg.batches);
+    for _ in 0..cfg.batches {
+        let batch = stream
+            .next_batch()
+            .expect("dataset too small for the requested batch configuration");
+        batches.push(batch);
+    }
+    let queries = queries::random_connected_pairs(&initial, cfg.queries, cfg.seed.wrapping_add(2));
+    WorkloadBundle {
+        num_vertices,
+        initial,
+        batches,
+        queries,
+    }
+}
+
+/// Aggregated result of one engine over all queries and batches.
+#[derive(Debug, Clone, Serialize)]
+pub struct EngineResult {
+    /// Engine display name.
+    pub engine: String,
+    /// Mean response time per batch, seconds (simulated seconds for the
+    /// accelerator).
+    pub response_seconds: f64,
+    /// Mean time to full convergence per batch, seconds.
+    pub total_seconds: f64,
+    /// Work counters summed over all queries and batches.
+    pub counters: Counters,
+    /// Activations during addition processing (engines that split phases).
+    pub addition_activations: u64,
+    /// Activations during deletion processing, before the response.
+    pub deletion_activations: u64,
+    /// Activations during the post-response delayed drain.
+    pub drain_activations: u64,
+    /// Summed classification outcome (classifying engines only).
+    pub classification: Option<ClassificationSummary>,
+    /// Memory statistics (accelerator only).
+    pub mem: Option<MemStats>,
+    /// Batches × queries this result aggregates.
+    pub samples: usize,
+}
+
+fn sum_classification(a: &mut ClassificationSummary, b: &ClassificationSummary) {
+    a.valuable_additions += b.valuable_additions;
+    a.useless_additions += b.useless_additions;
+    a.valuable_deletions += b.valuable_deletions;
+    a.delayed_deletions += b.delayed_deletions;
+    a.useless_deletions += b.useless_deletions;
+}
+
+fn sum_mem(a: &mut MemStats, b: &MemStats) {
+    *a += *b;
+}
+
+/// Runs one engine over the whole workload for one algorithm; answers are
+/// cross-checked against Cold-Start when `check` is given.
+///
+/// # Panics
+///
+/// Panics if `check` is given and an answer diverges — engines must agree.
+pub fn run_engine<A: MonotonicAlgorithm>(
+    cfg: &RunConfig,
+    bundle: &WorkloadBundle,
+    sel: EngineSel,
+    check: Option<&[Vec<cisgraph_types::State>]>,
+) -> EngineResult {
+    let mut response = 0.0f64;
+    let mut total = 0.0f64;
+    let mut counters = Counters::new();
+    let mut add_acts = 0u64;
+    let mut del_acts = 0u64;
+    let mut drain_acts = 0u64;
+    let mut classification: Option<ClassificationSummary> = None;
+    let mut mem: Option<MemStats> = None;
+    let mut samples = 0usize;
+
+    // The accelerator reports *simulated* time, which parallel execution
+    // cannot distort, so its queries run on worker threads. The software
+    // engines are wall-clock timed and stay sequential.
+    if sel == EngineSel::Accel {
+        let per_query = |query: PairQuery| {
+            let mut graph = bundle.initial.clone();
+            let mut accel = CisGraphAccel::<A>::new(&graph, query, cfg.accel);
+            bundle
+                .batches
+                .iter()
+                .map(|batch| {
+                    graph
+                        .apply_batch(batch)
+                        .expect("workload batches are consistent");
+                    accel.process_batch(&graph, batch)
+                })
+                .collect::<Vec<_>>()
+        };
+        let reports: Vec<Vec<cisgraph_core::AccelReport>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = bundle
+                .queries
+                .iter()
+                .map(|&query| scope.spawn(move |_| per_query(query)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("accelerator thread panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope");
+        for (qi, per_query_reports) in reports.iter().enumerate() {
+            for (bi, rep) in per_query_reports.iter().enumerate() {
+                if let Some(expected) = check {
+                    assert_eq!(
+                        rep.answer,
+                        expected[qi][bi],
+                        "{} diverged on query {qi} batch {bi}",
+                        sel.name()
+                    );
+                }
+                counters += rep.counters;
+                add_acts += rep.addition_activations;
+                del_acts += rep.deletion_activations;
+                drain_acts += rep.drain_activations;
+                sum_classification(classification.get_or_insert_default(), &rep.classification);
+                sum_mem(mem.get_or_insert_default(), &rep.mem);
+                response += rep.response_seconds(cfg.accel.clock_ghz);
+                total += cfg.accel.cycles_to_seconds(rep.total_cycles);
+                samples += 1;
+            }
+        }
+        return EngineResult {
+            engine: sel.name().to_string(),
+            response_seconds: if samples > 0 {
+                response / samples as f64
+            } else {
+                0.0
+            },
+            total_seconds: if samples > 0 {
+                total / samples as f64
+            } else {
+                0.0
+            },
+            counters,
+            addition_activations: add_acts,
+            deletion_activations: del_acts,
+            drain_activations: drain_acts,
+            classification,
+            mem,
+            samples,
+        };
+    }
+
+    for (qi, &query) in bundle.queries.iter().enumerate() {
+        let mut graph = bundle.initial.clone();
+        enum E<A: MonotonicAlgorithm> {
+            Cs(ColdStart<A>),
+            Sg(Box<SGraph<A>>),
+            Pnp(Pnp<A>),
+            Ciso(CisGraphO<A>),
+            Accel(Box<CisGraphAccel<A>>),
+        }
+        let mut engine: E<A> = match sel {
+            EngineSel::Cs => E::Cs(ColdStart::new(query)),
+            EngineSel::SGraph => E::Sg(Box::new(SGraph::new(
+                &graph,
+                query,
+                SGraphConfig { num_hubs: cfg.hubs },
+            ))),
+            EngineSel::Pnp => E::Pnp(Pnp::new(query)),
+            EngineSel::Ciso => E::Ciso(CisGraphO::new(&graph, query)),
+            EngineSel::Accel => E::Accel(Box::new(CisGraphAccel::new(&graph, query, cfg.accel))),
+        };
+        for (bi, batch) in bundle.batches.iter().enumerate() {
+            graph
+                .apply_batch(batch)
+                .expect("workload batches are consistent");
+            let (answer, r, t) = match &mut engine {
+                E::Cs(e) => {
+                    let rep = e.process_batch(&graph, batch);
+                    counters += rep.counters;
+                    (
+                        rep.answer,
+                        rep.response_time.as_secs_f64(),
+                        rep.total_time.as_secs_f64(),
+                    )
+                }
+                E::Sg(e) => {
+                    let rep = e.process_batch(&graph, batch);
+                    counters += rep.counters;
+                    (
+                        rep.answer,
+                        rep.response_time.as_secs_f64(),
+                        rep.total_time.as_secs_f64(),
+                    )
+                }
+                E::Pnp(e) => {
+                    let rep = e.process_batch(&graph, batch);
+                    counters += rep.counters;
+                    (
+                        rep.answer,
+                        rep.response_time.as_secs_f64(),
+                        rep.total_time.as_secs_f64(),
+                    )
+                }
+                E::Ciso(e) => {
+                    let rep = e.process_batch(&graph, batch);
+                    counters += rep.counters;
+                    add_acts += rep.addition_activations;
+                    del_acts += rep.deletion_activations;
+                    drain_acts += rep.drain_activations;
+                    if let Some(c) = &rep.classification {
+                        sum_classification(classification.get_or_insert_default(), c);
+                    }
+                    (
+                        rep.answer,
+                        rep.response_time.as_secs_f64(),
+                        rep.total_time.as_secs_f64(),
+                    )
+                }
+                E::Accel(e) => {
+                    let rep = e.process_batch(&graph, batch);
+                    counters += rep.counters;
+                    add_acts += rep.addition_activations;
+                    del_acts += rep.deletion_activations;
+                    drain_acts += rep.drain_activations;
+                    sum_classification(classification.get_or_insert_default(), &rep.classification);
+                    sum_mem(mem.get_or_insert_default(), &rep.mem);
+                    (
+                        rep.answer,
+                        rep.response_seconds(cfg.accel.clock_ghz),
+                        cfg.accel.cycles_to_seconds(rep.total_cycles),
+                    )
+                }
+            };
+            if let Some(expected) = check {
+                assert_eq!(
+                    answer,
+                    expected[qi][bi],
+                    "{} diverged on query {qi} batch {bi}",
+                    sel.name()
+                );
+            }
+            response += r;
+            total += t;
+            samples += 1;
+        }
+    }
+
+    EngineResult {
+        engine: sel.name().to_string(),
+        response_seconds: if samples > 0 {
+            response / samples as f64
+        } else {
+            0.0
+        },
+        total_seconds: if samples > 0 {
+            total / samples as f64
+        } else {
+            0.0
+        },
+        counters,
+        addition_activations: add_acts,
+        deletion_activations: del_acts,
+        drain_activations: drain_acts,
+        classification,
+        mem,
+        samples,
+    }
+}
+
+/// Reference answers per query per batch, computed by Cold-Start. Queries
+/// are evaluated on parallel threads (pure answers, no timing is taken, so
+/// parallelism cannot distort any measurement).
+pub fn reference_answers<A: MonotonicAlgorithm>(
+    bundle: &WorkloadBundle,
+) -> Vec<Vec<cisgraph_types::State>> {
+    let per_query = |query: PairQuery| {
+        let mut graph = bundle.initial.clone();
+        let mut cs = ColdStart::<A>::new(query);
+        bundle
+            .batches
+            .iter()
+            .map(|batch| {
+                graph
+                    .apply_batch(batch)
+                    .expect("workload batches are consistent");
+                cs.process_batch(&graph, batch).answer
+            })
+            .collect::<Vec<_>>()
+    };
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = bundle
+            .queries
+            .iter()
+            .map(|&query| scope.spawn(move |_| per_query(query)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("reference thread panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope")
+}
+
+/// Results of all requested engines for one algorithm.
+#[derive(Debug, Clone, Serialize)]
+pub struct AlgoResults {
+    /// Algorithm display name (Table II row).
+    pub algorithm: String,
+    /// Dataset abbreviation (OR / LJ / UK).
+    pub dataset: String,
+    /// Per-engine aggregates, in the order requested.
+    pub engines: Vec<EngineResult>,
+}
+
+impl AlgoResults {
+    /// Speedup of `engine` over the `CS` row (response-time based, as in
+    /// Table IV). `None` if either row is missing or degenerate.
+    pub fn speedup_over_cs(&self, engine: &str) -> Option<f64> {
+        let cs = self.engines.iter().find(|e| e.engine == "CS")?;
+        let e = self.engines.iter().find(|e| e.engine == engine)?;
+        if e.response_seconds > 0.0 {
+            Some(cs.response_seconds / e.response_seconds)
+        } else {
+            None
+        }
+    }
+}
+
+/// Runs the requested engines for one algorithm over one workload,
+/// cross-checking every answer against Cold-Start.
+pub fn run_engines<A: MonotonicAlgorithm>(
+    cfg: &RunConfig,
+    bundle: &WorkloadBundle,
+    engines: &[EngineSel],
+) -> AlgoResults {
+    let reference = reference_answers::<A>(bundle);
+    let engines = engines
+        .iter()
+        .map(|&sel| run_engine::<A>(cfg, bundle, sel, Some(&reference)))
+        .collect();
+    AlgoResults {
+        algorithm: A::NAME.to_string(),
+        dataset: cfg.dataset.abbrev.to_string(),
+        engines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cisgraph_algo::{Ppsp, Reach};
+    use cisgraph_datasets::registry;
+
+    fn tiny() -> RunConfig {
+        let mut cfg = RunConfig::quick(registry::orkut_like());
+        cfg.scale = 0.0005;
+        cfg.additions = 50;
+        cfg.deletions = 50;
+        cfg.queries = 2;
+        cfg.hubs = 4;
+        cfg
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let cfg = tiny();
+        let a = build_workload(&cfg);
+        let b = build_workload(&cfg);
+        assert_eq!(a.batches, b.batches);
+        assert_eq!(a.queries, b.queries);
+        assert_eq!(a.num_vertices, b.num_vertices);
+    }
+
+    #[test]
+    fn all_engines_agree_ppsp() {
+        let cfg = tiny();
+        let bundle = build_workload(&cfg);
+        let results = run_engines::<Ppsp>(
+            &cfg,
+            &bundle,
+            &[
+                EngineSel::Cs,
+                EngineSel::SGraph,
+                EngineSel::Pnp,
+                EngineSel::Ciso,
+                EngineSel::Accel,
+            ],
+        );
+        assert_eq!(results.engines.len(), 5);
+        for e in &results.engines {
+            assert_eq!(e.samples, cfg.queries * cfg.batches);
+        }
+        // The accelerator must carry memory stats and classification.
+        let accel = results
+            .engines
+            .iter()
+            .find(|e| e.engine == "CISGraph")
+            .unwrap();
+        assert!(accel.mem.is_some());
+        assert!(accel.classification.is_some());
+    }
+
+    #[test]
+    fn all_engines_agree_reach() {
+        let cfg = tiny();
+        let bundle = build_workload(&cfg);
+        let results = run_engines::<Reach>(
+            &cfg,
+            &bundle,
+            &[EngineSel::Cs, EngineSel::Ciso, EngineSel::Accel],
+        );
+        assert_eq!(results.engines.len(), 3);
+    }
+
+    #[test]
+    fn speedup_helper() {
+        let cfg = tiny();
+        let bundle = build_workload(&cfg);
+        let results = run_engines::<Ppsp>(&cfg, &bundle, &[EngineSel::Cs, EngineSel::Accel]);
+        let s = results.speedup_over_cs("CISGraph");
+        assert!(s.is_some());
+        assert!(s.unwrap() > 0.0);
+        assert!(results.speedup_over_cs("nope").is_none());
+    }
+
+    #[test]
+    fn with_args_overrides() {
+        let args = crate::args::Args::parse_from(
+            ["--scale", "0.3", "--adds", "7", "--queries", "3"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        let cfg = RunConfig::quick(registry::orkut_like()).with_args(&args);
+        assert_eq!(cfg.scale, 0.3);
+        assert_eq!(cfg.additions, 7);
+        assert_eq!(cfg.queries, 3);
+    }
+}

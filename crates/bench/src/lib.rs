@@ -1,0 +1,26 @@
+//! Benchmark harness for the CISGraph reproduction.
+//!
+//! One library drives both the table/figure binaries (`table1` … `fig5b`,
+//! `sweep`) and the Criterion benches: it generates the paper's workloads
+//! (stand-in dataset + streaming batches + 10 random queries), runs every
+//! engine — Cold-Start, SGraph, PnP, CISGraph-O in wall-clock time and the
+//! CISGraph accelerator in simulated cycles — and aggregates the metrics
+//! each experiment reports.
+//!
+//! See `DESIGN.md` §3 for the experiment ↔ module index and
+//! `EXPERIMENTS.md` for recorded paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod artifacts;
+pub mod experiment;
+pub mod naive;
+pub mod table;
+
+pub use experiment::{
+    build_workload, run_engine, run_engines, AlgoResults, EngineResult, EngineSel, RunConfig,
+    WorkloadBundle,
+};
+pub use table::Table;

@@ -1,0 +1,54 @@
+//! Smoke tests of the fast experiment binaries: they run to completion and
+//! print the rows the paper's tables contain. (The heavy bins — table4,
+//! fig2, fig5*, sweep, phases — are exercised at small scale through the
+//! library tests and CI.)
+
+use std::process::Command;
+
+fn run(path: &str, args: &[&str]) -> String {
+    let out = Command::new(path)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("{path} failed to launch: {e}"));
+    assert!(
+        out.status.success(),
+        "{path} exited with {:?}: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn table1_prints_hardware_config() {
+    let out = run(env!("CARGO_BIN_EXE_table1"), &[]);
+    assert!(out.contains("4x CISGraph pipelines @1GHz"));
+    assert!(out.contains("32MB eDRAM scratchpad"));
+    assert!(out.contains("8x DDR4-3200"));
+}
+
+#[test]
+fn table2_prints_all_five_algorithms() {
+    let out = run(env!("CARGO_BIN_EXE_table2"), &[]);
+    for name in ["PPSP", "PPWP", "PPNP", "Viterbi", "Reach"] {
+        assert!(out.contains(name), "missing {name} in:\n{out}");
+    }
+    // The live ⊕ demo on (6, 2): PPSP 8, PPWP 2, PPNP 6, Viterbi 3, Reach 6.
+    assert!(out.contains("T = 8"));
+    assert!(out.contains("T = 3"));
+}
+
+#[test]
+fn table3_prints_stand_in_scales() {
+    let out = run(env!("CARGO_BIN_EXE_table3"), &["--scale", "0.002"]);
+    assert!(out.contains("orkut_like"));
+    assert!(out.contains("2599558"), "paper's full-scale vertex count");
+    assert!(out.contains("16.0"), "stand-in average degree");
+}
+
+#[test]
+fn fig1_reproduces_the_hazard() {
+    let out = run(env!("CARGO_BIN_EXE_fig1"), &[]);
+    assert!(out.contains("WRONG"));
+    assert!(out.contains("Dependence repair"));
+}

@@ -1,0 +1,225 @@
+//! Hardware-behavior tests of the accelerator model: cache warmth across
+//! batches, pipeline scaling, memory accounting, and configuration edge
+//! cases.
+
+use cisgraph_algo::Ppsp;
+use cisgraph_core::{AcceleratorConfig, CisGraphAccel};
+use cisgraph_datasets::queries::random_connected_pairs;
+use cisgraph_datasets::{registry, StreamConfig};
+use cisgraph_graph::DynamicGraph;
+use cisgraph_types::{EdgeUpdate, PairQuery, VertexId, Weight};
+
+fn workload() -> (DynamicGraph, Vec<Vec<EdgeUpdate>>, PairQuery) {
+    let edges = registry::orkut_like().generate(0.001, 5);
+    let mut stream = StreamConfig::paper_default()
+        .with_batch_size(200, 200)
+        .build(edges, 5);
+    let mut g = DynamicGraph::new(stream.num_vertices());
+    for &(u, v, w) in stream.initial_edges() {
+        g.insert_edge(u, v, w).unwrap();
+    }
+    let batches: Vec<_> = (0..3).map(|_| stream.next_batch().unwrap()).collect();
+    let q = random_connected_pairs(&g, 1, 11)[0];
+    (g, batches, q)
+}
+
+/// The scratchpad persists across batches: the second batch touches mostly
+/// warm state/CSR lines, so its SPM hit rate must beat the first (cold)
+/// batch's.
+#[test]
+fn spm_stays_warm_across_batches() {
+    let (mut g, batches, q) = workload();
+    let mut accel = CisGraphAccel::<Ppsp>::new(&g, q, AcceleratorConfig::date2025());
+    g.apply_batch(&batches[0]).unwrap();
+    let first = accel.process_batch(&g, &batches[0]);
+    g.apply_batch(&batches[1]).unwrap();
+    let second = accel.process_batch(&g, &batches[1]);
+    assert!(
+        second.mem.spm_hit_rate() > first.mem.spm_hit_rate(),
+        "warm batch {:.3} should beat cold batch {:.3}",
+        second.mem.spm_hit_rate(),
+        first.mem.spm_hit_rate()
+    );
+}
+
+/// Memory statistics are per batch (deltas), not cumulative.
+#[test]
+fn mem_stats_are_per_batch() {
+    let (mut g, batches, q) = workload();
+    let mut accel = CisGraphAccel::<Ppsp>::new(&g, q, AcceleratorConfig::date2025());
+    g.apply_batch(&batches[0]).unwrap();
+    let first = accel.process_batch(&g, &batches[0]);
+    g.apply_batch(&batches[1]).unwrap();
+    let second = accel.process_batch(&g, &batches[1]);
+    // Cumulative reporting would make the second strictly larger than the
+    // first in every counter; the warm second batch must show *fewer* DRAM
+    // reads instead.
+    assert!(
+        second.mem.dram_reads < first.mem.dram_reads,
+        "second batch reads {} vs first {}",
+        second.mem.dram_reads,
+        first.mem.dram_reads
+    );
+}
+
+/// A single-pipeline configuration produces the same answers, just more
+/// slowly than the default four.
+#[test]
+fn pipeline_count_affects_cycles_not_answers() {
+    let (mut g, batches, q) = workload();
+    let mut one = CisGraphAccel::<Ppsp>::new(
+        &g,
+        q,
+        AcceleratorConfig::date2025()
+            .with_pipelines(1)
+            .with_propagation_units(1),
+    );
+    let mut four = CisGraphAccel::<Ppsp>::new(&g, q, AcceleratorConfig::date2025());
+    for batch in &batches {
+        g.apply_batch(batch).unwrap();
+        let a = one.process_batch(&g, batch);
+        let b = four.process_batch(&g, batch);
+        assert_eq!(a.answer, b.answer);
+        assert!(
+            a.total_cycles >= b.total_cycles,
+            "1-pipeline {} should not beat 4-pipeline {}",
+            a.total_cycles,
+            b.total_cycles
+        );
+    }
+}
+
+/// Milestones are ordered: additions <= response <= drain.
+#[test]
+fn milestones_are_monotonic() {
+    let (mut g, batches, q) = workload();
+    let mut accel = CisGraphAccel::<Ppsp>::new(&g, q, AcceleratorConfig::date2025());
+    for batch in &batches {
+        g.apply_batch(batch).unwrap();
+        let r = accel.process_batch(&g, batch);
+        let m = r.milestones;
+        assert!(m.additions_done <= m.response, "{m:?}");
+        assert!(m.response <= m.drain_done, "{m:?}");
+        assert_eq!(m.response, r.response_cycles);
+        assert_eq!(m.drain_done, r.total_cycles);
+    }
+}
+
+/// Tiny graph, huge batch: the accelerator handles batches larger than the
+/// graph itself (every edge churned repeatedly).
+#[test]
+fn batch_larger_than_graph() {
+    let mut g = DynamicGraph::new(4);
+    let w = |x: f64| Weight::new(x).unwrap();
+    let v = |x: u32| VertexId::new(x);
+    g.insert_edge(v(0), v(1), w(1.0)).unwrap();
+    g.insert_edge(v(1), v(2), w(1.0)).unwrap();
+    g.insert_edge(v(2), v(3), w(1.0)).unwrap();
+    let q = PairQuery::new(v(0), v(3)).unwrap();
+    let mut accel = CisGraphAccel::<Ppsp>::new(&g, q, AcceleratorConfig::date2025());
+
+    // 40 updates over a 3-edge graph: repeated add/delete churn.
+    let mut batch = Vec::new();
+    for i in 0..20u32 {
+        let wt = w(f64::from(i % 5 + 1));
+        batch.push(EdgeUpdate::insert(v(0), v(3), wt));
+    }
+    g.apply_batch(&batch).unwrap();
+    let r = accel.process_batch(&g, &batch);
+    assert_eq!(r.answer.get(), 1.0, "best of the inserted shortcuts");
+    assert_eq!(r.classification.total(), 20);
+}
+
+/// Bus-busy accounting never exceeds physical capacity.
+#[test]
+fn bus_utilization_is_physical() {
+    let (mut g, batches, q) = workload();
+    let cfg = AcceleratorConfig::date2025();
+    let mut accel = CisGraphAccel::<Ppsp>::new(&g, q, cfg);
+    for batch in &batches {
+        g.apply_batch(batch).unwrap();
+        let r = accel.process_batch(&g, batch);
+        if r.total_cycles > 0 {
+            let capacity = cfg.dram.channels as u64 * r.total_cycles;
+            assert!(
+                r.mem.bus_busy_cycles <= capacity,
+                "bus busy {} exceeds capacity {}",
+                r.mem.bus_busy_cycles,
+                capacity
+            );
+        }
+    }
+}
+
+/// The contribution-scheduling ablation: without it, answers are identical
+/// but the response arrives only at the end (no early answer), and it is
+/// never earlier than the scheduled configuration's.
+#[test]
+fn scheduling_ablation_preserves_answers_and_delays_response() {
+    let (mut g, batches, q) = workload();
+    let mut with = CisGraphAccel::<Ppsp>::new(&g, q, AcceleratorConfig::date2025());
+    let mut without = CisGraphAccel::<Ppsp>::new(
+        &g,
+        q,
+        AcceleratorConfig::date2025().without_contribution_scheduling(),
+    );
+    for batch in &batches {
+        g.apply_batch(batch).unwrap();
+        let a = with.process_batch(&g, batch);
+        let b = without.process_batch(&g, batch);
+        assert_eq!(a.answer, b.answer);
+        assert_eq!(
+            b.response_cycles, b.total_cycles,
+            "no early response without scheduling"
+        );
+        assert!(
+            b.response_cycles >= a.response_cycles,
+            "unscheduled response {} beat scheduled {}",
+            b.response_cycles,
+            a.response_cycles
+        );
+        assert_eq!(b.classification.delayed_deletions, 0);
+    }
+}
+
+/// Identification issues one update per cycle per pipeline: a batch whose
+/// updates all route to one lane (same `dst mod P`) serializes, while the
+/// same count spread across lanes parallelizes.
+#[test]
+fn pipeline_routing_shapes_identification_time() {
+    let w = |x: f64| Weight::new(x).unwrap();
+    let v = |x: u32| VertexId::new(x);
+    let mut g = DynamicGraph::new(64);
+    for i in 1..64 {
+        g.insert_edge(v(0), v(i), w(1.0)).unwrap();
+    }
+    let q = PairQuery::new(v(0), v(63)).unwrap();
+    let cfg = AcceleratorConfig::date2025(); // 4 pipelines
+
+    // 32 useless additions, all to destinations congruent mod 4 (lane 0).
+    let mut same_lane = CisGraphAccel::<Ppsp>::new(&g, q, cfg);
+    let batch_same: Vec<EdgeUpdate> = (0..32u32)
+        .map(|i| EdgeUpdate::insert(v(0), v(4 + (i % 15) * 4 % 60), w(9.0)))
+        .collect();
+    let mut g1 = g.clone();
+    g1.apply_batch(&batch_same).unwrap();
+    let r_same = same_lane.process_batch(&g1, &batch_same);
+
+    // 32 useless additions spread across all four lanes.
+    let mut spread = CisGraphAccel::<Ppsp>::new(&g, q, cfg);
+    let batch_spread: Vec<EdgeUpdate> = (0..32u32)
+        .map(|i| EdgeUpdate::insert(v(0), v(1 + i % 60), w(9.0)))
+        .collect();
+    let mut g2 = g.clone();
+    g2.apply_batch(&batch_spread).unwrap();
+    let r_spread = spread.process_batch(&g2, &batch_spread);
+
+    assert!(
+        r_same.milestones.identification_done > r_spread.milestones.identification_done,
+        "single-lane ident {} should exceed spread ident {}",
+        r_same.milestones.identification_done,
+        r_spread.milestones.identification_done
+    );
+    // Lane 0 alone must take at least one cycle per update.
+    assert!(r_same.milestones.identification_done >= 32);
+}

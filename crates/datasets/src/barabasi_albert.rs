@@ -1,0 +1,120 @@
+//! Barabási–Albert preferential-attachment generator.
+//!
+//! A second heavy-tailed family alongside [`crate::rmat`]: each new vertex
+//! attaches `m` out-edges to existing vertices chosen proportionally to
+//! their current degree. Useful as a robustness check that the paper's
+//! observations are not R-MAT artifacts.
+
+use crate::weights::WeightDistribution;
+use cisgraph_types::{VertexId, Weight};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a directed Barabási–Albert graph with `n` vertices, `m`
+/// attachments per new vertex, and the given weight distribution.
+///
+/// The first `m + 1` vertices form a seed clique-ish chain so attachment
+/// targets always exist. Self-loops are skipped; parallel edges can occur
+/// (as in the classic process).
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `n < m + 1`.
+///
+/// # Examples
+///
+/// ```
+/// use cisgraph_datasets::barabasi_albert::generate;
+/// use cisgraph_datasets::weights::WeightDistribution;
+///
+/// let edges = generate(100, 3, WeightDistribution::Unit, 5);
+/// assert!(edges.len() >= 97 * 3);
+/// ```
+pub fn generate(
+    n: usize,
+    m: usize,
+    weights: WeightDistribution,
+    seed: u64,
+) -> Vec<(VertexId, VertexId, Weight)> {
+    assert!(m > 0, "need at least one attachment per vertex");
+    assert!(n > m, "need more vertices ({n}) than attachments ({m})");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges: Vec<(VertexId, VertexId, Weight)> = Vec::with_capacity(n * m);
+    // Degree-proportional sampling via the repeated-endpoints trick: pick a
+    // uniform element of the endpoint multiset.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m);
+
+    // Seed path 0 -> 1 -> ... -> m.
+    for i in 0..m {
+        let (u, v) = (i as u32, (i + 1) as u32);
+        edges.push((VertexId::new(u), VertexId::new(v), weights.sample(&mut rng)));
+        endpoints.push(u);
+        endpoints.push(v);
+    }
+
+    for new in (m + 1)..n {
+        let new = new as u32;
+        for _ in 0..m {
+            let target = loop {
+                let t = endpoints[rng.gen_range(0..endpoints.len())];
+                if t != new {
+                    break t;
+                }
+            };
+            edges.push((
+                VertexId::new(new),
+                VertexId::new(target),
+                weights.sample(&mut rng),
+            ));
+            endpoints.push(new);
+            endpoints.push(target);
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_count() {
+        // m seed edges + (n - m - 1) * m attachments
+        let edges = generate(50, 2, WeightDistribution::Unit, 1);
+        assert_eq!(edges.len(), 2 + 47 * 2);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        for (u, v, _) in generate(200, 3, WeightDistribution::Unit, 2) {
+            assert_ne!(u, v);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            generate(100, 2, WeightDistribution::paper_default(), 7),
+            generate(100, 2, WeightDistribution::paper_default(), 7)
+        );
+    }
+
+    #[test]
+    fn heavy_tail_emerges() {
+        let edges = generate(2000, 2, WeightDistribution::Unit, 3);
+        let mut deg = vec![0usize; 2000];
+        for &(u, v, _) in &edges {
+            deg[u.index()] += 1;
+            deg[v.index()] += 1;
+        }
+        let max = *deg.iter().max().unwrap();
+        let avg = 2.0 * edges.len() as f64 / 2000.0;
+        assert!(max as f64 > 10.0 * avg, "max {max} vs avg {avg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "more vertices")]
+    fn too_few_vertices_panics() {
+        let _ = generate(2, 2, WeightDistribution::Unit, 1);
+    }
+}

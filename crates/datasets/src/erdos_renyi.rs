@@ -1,0 +1,95 @@
+//! Erdős–Rényi `G(n, m)` generator, used in tests and as an un-skewed
+//! control workload in the benchmark harness.
+
+use crate::weights::WeightDistribution;
+use cisgraph_types::{VertexId, Weight};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Generates a uniform random directed graph with `n` vertices and (up to)
+/// `m` distinct edges, no self-loops.
+///
+/// # Panics
+///
+/// Panics if `n < 2` and `m > 0` (no non-loop edge can exist).
+///
+/// # Examples
+///
+/// ```
+/// use cisgraph_datasets::erdos_renyi::generate;
+/// use cisgraph_datasets::weights::WeightDistribution;
+///
+/// let edges = generate(100, 400, WeightDistribution::Unit, 9);
+/// assert_eq!(edges.len(), 400);
+/// ```
+pub fn generate(
+    n: usize,
+    m: usize,
+    weights: WeightDistribution,
+    seed: u64,
+) -> Vec<(VertexId, VertexId, Weight)> {
+    assert!(
+        m == 0 || n >= 2,
+        "need at least 2 vertices for a non-loop edge"
+    );
+    let capacity = n.saturating_mul(n.saturating_sub(1));
+    let m = m.min(capacity);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut seen = HashSet::with_capacity(m * 2);
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let u = rng.gen_range(0..n) as u32;
+        let v = rng.gen_range(0..n) as u32;
+        if u == v || !seen.insert((u, v)) {
+            continue;
+        }
+        edges.push((VertexId::new(u), VertexId::new(v), weights.sample(&mut rng)));
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_count() {
+        assert_eq!(generate(50, 200, WeightDistribution::Unit, 1).len(), 200);
+    }
+
+    #[test]
+    fn clamps_to_capacity() {
+        // 3 vertices -> at most 6 directed non-loop edges.
+        assert_eq!(generate(3, 100, WeightDistribution::Unit, 1).len(), 6);
+    }
+
+    #[test]
+    fn zero_edges() {
+        assert!(generate(10, 0, WeightDistribution::Unit, 1).is_empty());
+    }
+
+    #[test]
+    fn no_loops_no_duplicates() {
+        let edges = generate(20, 100, WeightDistribution::Unit, 3);
+        let mut seen = HashSet::new();
+        for &(u, v, _) in &edges {
+            assert_ne!(u, v);
+            assert!(seen.insert((u, v)));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            generate(30, 60, WeightDistribution::paper_default(), 5),
+            generate(30, 60, WeightDistribution::paper_default(), 5)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 vertices")]
+    fn single_vertex_with_edges_panics() {
+        let _ = generate(1, 5, WeightDistribution::Unit, 1);
+    }
+}

@@ -1,0 +1,126 @@
+//! Grid (road-network-like) generator.
+//!
+//! A `side × side` lattice with bidirectional streets and random travel
+//! times — the navigation workload of the paper's motivating example,
+//! also used by `examples/navigation.rs`. Grids are the adversarial
+//! opposite of power-law graphs (large diameter, no hubs), useful for
+//! stressing bound-based pruning.
+
+use crate::weights::WeightDistribution;
+use cisgraph_types::{VertexId, Weight};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Identifies the vertex at grid coordinate `(x, y)` for a given side
+/// length.
+///
+/// # Examples
+///
+/// ```
+/// use cisgraph_datasets::grid::node;
+///
+/// assert_eq!(node(3, 1, 2).raw(), 7); // y * side + x
+/// ```
+pub fn node(side: u32, x: u32, y: u32) -> VertexId {
+    VertexId::new(y * side + x)
+}
+
+/// Generates a `side × side` grid with bidirectional edges and weights
+/// drawn from `weights`.
+///
+/// # Panics
+///
+/// Panics if `side < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use cisgraph_datasets::grid::generate;
+/// use cisgraph_datasets::weights::WeightDistribution;
+///
+/// let edges = generate(4, WeightDistribution::Unit, 1);
+/// // 2 directions * 2 * side * (side - 1) street segments
+/// assert_eq!(edges.len(), 2 * 2 * 4 * 3);
+/// ```
+pub fn generate(
+    side: u32,
+    weights: WeightDistribution,
+    seed: u64,
+) -> Vec<(VertexId, VertexId, Weight)> {
+    assert!(side >= 2, "grid needs side >= 2, got {side}");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(4 * (side as usize) * (side as usize - 1));
+    for y in 0..side {
+        for x in 0..side {
+            if x + 1 < side {
+                edges.push((
+                    node(side, x, y),
+                    node(side, x + 1, y),
+                    weights.sample(&mut rng),
+                ));
+                edges.push((
+                    node(side, x + 1, y),
+                    node(side, x, y),
+                    weights.sample(&mut rng),
+                ));
+            }
+            if y + 1 < side {
+                edges.push((
+                    node(side, x, y),
+                    node(side, x, y + 1),
+                    weights.sample(&mut rng),
+                ));
+                edges.push((
+                    node(side, x, y + 1),
+                    node(side, x, y),
+                    weights.sample(&mut rng),
+                ));
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cisgraph_graph::{DynamicGraph, GraphView};
+
+    #[test]
+    fn counts_and_degrees() {
+        let side = 5;
+        let edges = generate(side, WeightDistribution::Unit, 1);
+        assert_eq!(edges.len(), 2 * 2 * 5 * 4);
+        let g = DynamicGraph::from_edges((side * side) as usize, edges);
+        // A corner has out-degree 2, an interior vertex 4.
+        assert_eq!(g.out_degree(node(side, 0, 0)), 2);
+        assert_eq!(g.out_degree(node(side, 2, 2)), 4);
+    }
+
+    #[test]
+    fn symmetric_connectivity() {
+        let side = 4;
+        let g = DynamicGraph::from_edges(
+            (side * side) as usize,
+            generate(side, WeightDistribution::Unit, 2),
+        );
+        for v in 0..(side * side) {
+            let v = VertexId::new(v);
+            assert_eq!(g.out_degree(v), g.in_degree(v), "degree symmetry at {v}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            generate(6, WeightDistribution::paper_default(), 9),
+            generate(6, WeightDistribution::paper_default(), 9)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "side >= 2")]
+    fn tiny_grid_panics() {
+        let _ = generate(1, WeightDistribution::Unit, 1);
+    }
+}

@@ -1,0 +1,307 @@
+//! CISGraph-O: the contribution-aware software workflow (§III-A).
+
+use crate::{BatchReport, StreamingEngine};
+use cisgraph_algo::classify::{
+    classify_addition, classify_deletion_dependence, ClassificationSummary,
+};
+use cisgraph_algo::ConvergedResult;
+use cisgraph_algo::{incremental, solver, Counters, KeyPath, MonotonicAlgorithm};
+use cisgraph_graph::{DynamicGraph, GraphView};
+use cisgraph_types::{Contribution, EdgeUpdate, PairQuery, State};
+use std::time::Instant;
+
+/// The software implementation of the CISGraph workflow:
+///
+/// 1. **Identify** — run Algorithm 1 over the batch against the previous
+///    converged states and global key path,
+/// 2. **Schedule** — drop useless updates; propagate valuable additions,
+///    then non-delayed valuable deletions preemptively,
+/// 3. **Respond** — the query answer is ready as soon as no valuable update
+///    remains (`response_time`),
+/// 4. **Drain** — process delayed deletions to keep future batches correct
+///    (`total_time`).
+///
+/// Final states after the drain are bit-identical to a full recomputation
+/// on the new snapshot (verified by the cross-engine equivalence tests).
+#[derive(Debug, Clone)]
+pub struct CisGraphO<A: MonotonicAlgorithm> {
+    query: PairQuery,
+    result: ConvergedResult<A>,
+}
+
+impl<A: MonotonicAlgorithm> CisGraphO<A> {
+    /// Converges the initial snapshot and installs the standing query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a query endpoint is outside `graph`.
+    pub fn new(graph: &DynamicGraph, query: PairQuery) -> Self {
+        let mut counters = Counters::new();
+        let result = solver::best_first::<A, _>(graph, query.source(), &mut counters);
+        Self { query, result }
+    }
+
+    /// The standing query.
+    pub fn query(&self) -> PairQuery {
+        self.query
+    }
+
+    /// Read access to the converged result (used by the accelerator model
+    /// to seed its simulated memory image).
+    pub fn result(&self) -> &ConvergedResult<A> {
+        &self.result
+    }
+}
+
+impl<A: MonotonicAlgorithm> StreamingEngine<A> for CisGraphO<A> {
+    fn name(&self) -> &'static str {
+        "CISGraph-O"
+    }
+
+    fn process_batch(&mut self, graph: &DynamicGraph, batch: &[EdgeUpdate]) -> BatchReport {
+        let start = Instant::now();
+        let mut counters = Counters::new();
+        let mut summary = ClassificationSummary::default();
+        self.result.grow(graph.num_vertices());
+
+        // Phase 1a: identify + propagate valuable additions (additions
+        // stream first per the §IV-A fairness rule, and their
+        // identification sees the pre-batch converged states).
+        // Fig. 5(b) activation counts are *net* state changes per phase.
+        let states_before_adds: Vec<State> = self.result.states().to_vec();
+        let mut valuable_additions = Vec::new();
+        for update in batch.iter().filter(|u| u.kind().is_insert()) {
+            counters.computations += 1;
+            match classify_addition(&self.result, *update) {
+                Contribution::Valuable => {
+                    summary.valuable_additions += 1;
+                    valuable_additions.push(*update);
+                }
+                _ => {
+                    summary.useless_additions += 1;
+                    counters.updates_dropped += 1;
+                }
+            }
+        }
+        incremental::apply_additions(graph, &mut self.result, &valuable_additions, &mut counters);
+        let states_after_adds: Vec<State> = self.result.states().to_vec();
+        let addition_activations = states_before_adds
+            .iter()
+            .zip(&states_after_adds)
+            .filter(|(a, b)| a != b)
+            .count() as u64;
+
+        // Dependence links of every deletion in the batch: required by
+        // repair tagging so subtrees hanging off not-yet-processed
+        // deletions are reset too.
+        let pending = incremental::PendingDeletions::from_batch(batch.iter().copied());
+
+        // Phase 1b: identify deletions against the post-addition states
+        // (the prefetchers read the live SPM image, which already holds the
+        // addition results by the time deletions stream in).
+        let mut key_path = KeyPath::extract(&self.result, self.query);
+        let mut non_delayed: Vec<EdgeUpdate> = Vec::new();
+        let mut delayed: Vec<EdgeUpdate> = Vec::new();
+        for update in batch.iter().filter(|u| u.kind().is_delete()) {
+            counters.computations += 1;
+            match classify_deletion_dependence(&self.result, &key_path, *update) {
+                Contribution::Valuable => {
+                    summary.valuable_deletions += 1;
+                    non_delayed.push(*update);
+                }
+                Contribution::Delayed => {
+                    summary.delayed_deletions += 1;
+                    delayed.push(*update);
+                }
+                Contribution::Useless => {
+                    summary.useless_deletions += 1;
+                    counters.updates_dropped += 1;
+                }
+            }
+        }
+
+        // Phase 2: process non-delayed deletions preemptively; each repair
+        // can move the key path, so delayed updates are re-scanned and
+        // promoted when they become valuable ("when detecting a valuable
+        // update, we assign it the highest priority", §III-A). After this
+        // loop no pending deletion can touch the key path, which makes the
+        // early answer exact.
+        while !non_delayed.is_empty() {
+            for del in non_delayed.drain(..) {
+                incremental::apply_deletion_with(
+                    graph,
+                    &mut self.result,
+                    del,
+                    &pending,
+                    &mut counters,
+                );
+            }
+            key_path = KeyPath::extract(&self.result, self.query);
+            let mut rest = Vec::with_capacity(delayed.len());
+            for del in delayed.drain(..) {
+                if classify_deletion_dependence(&self.result, &key_path, del)
+                    == Contribution::Valuable
+                {
+                    non_delayed.push(del);
+                } else {
+                    rest.push(del);
+                }
+            }
+            delayed = rest;
+        }
+
+        // Phase 3: respond.
+        let answer = self.result.state(self.query.destination());
+        let response_time = start.elapsed();
+        let states_at_response: Vec<State> = self.result.states().to_vec();
+        let deletion_activations = states_after_adds
+            .iter()
+            .zip(&states_at_response)
+            .filter(|(a, b)| a != b)
+            .count() as u64;
+
+        // Phase 4: drain delayed deletions for future correctness.
+        for del in delayed {
+            incremental::apply_deletion_with(graph, &mut self.result, del, &pending, &mut counters);
+        }
+        let drain_activations = states_at_response
+            .iter()
+            .zip(self.result.states())
+            .filter(|(a, b)| *a != *b)
+            .count() as u64;
+        let total_time = start.elapsed();
+
+        let mut report = BatchReport::new(answer);
+        report.response_time = response_time;
+        report.total_time = total_time;
+        report.counters = counters;
+        report.addition_activations = addition_activations;
+        report.deletion_activations = deletion_activations;
+        report.drain_activations = drain_activations;
+        report.classification = Some(summary);
+        report
+    }
+
+    fn answer(&self) -> State {
+        self.result.state(self.query.destination())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cisgraph_algo::{Ppsp, Reach};
+    use cisgraph_types::{VertexId, Weight};
+
+    fn w(x: f64) -> Weight {
+        Weight::new(x).unwrap()
+    }
+
+    fn v(x: u32) -> VertexId {
+        VertexId::new(x)
+    }
+
+    #[test]
+    fn initial_convergence_answers_query() {
+        let mut g = DynamicGraph::new(3);
+        g.insert_edge(v(0), v(1), w(1.0)).unwrap();
+        g.insert_edge(v(1), v(2), w(1.0)).unwrap();
+        let engine = CisGraphO::<Ppsp>::new(&g, PairQuery::new(v(0), v(2)).unwrap());
+        assert_eq!(engine.answer().get(), 2.0);
+    }
+
+    #[test]
+    fn valuable_addition_improves_answer() {
+        let mut g = DynamicGraph::new(3);
+        g.insert_edge(v(0), v(2), w(5.0)).unwrap();
+        g.insert_edge(v(0), v(1), w(1.0)).unwrap();
+        let mut engine = CisGraphO::<Ppsp>::new(&g, PairQuery::new(v(0), v(2)).unwrap());
+
+        let batch = vec![EdgeUpdate::insert(v(1), v(2), w(1.0))];
+        g.apply_batch(&batch).unwrap();
+        let r = engine.process_batch(&g, &batch);
+        assert_eq!(r.answer.get(), 2.0);
+        let summary = r.classification.unwrap();
+        assert_eq!(summary.valuable_additions, 1);
+    }
+
+    #[test]
+    fn useless_updates_are_dropped_without_propagation() {
+        let mut g = DynamicGraph::new(3);
+        g.insert_edge(v(0), v(1), w(1.0)).unwrap();
+        let mut engine = CisGraphO::<Ppsp>::new(&g, PairQuery::new(v(0), v(1)).unwrap());
+
+        let batch = vec![EdgeUpdate::insert(v(0), v(1), w(9.0))];
+        g.apply_batch(&batch).unwrap();
+        let r = engine.process_batch(&g, &batch);
+        assert_eq!(r.answer.get(), 1.0);
+        assert_eq!(r.counters.updates_dropped, 1);
+        assert_eq!(r.addition_activations, 0);
+    }
+
+    #[test]
+    fn key_path_deletion_changes_answer() {
+        let mut g = DynamicGraph::new(3);
+        g.insert_edge(v(0), v(2), w(2.0)).unwrap();
+        g.insert_edge(v(0), v(1), w(3.0)).unwrap();
+        g.insert_edge(v(1), v(2), w(3.0)).unwrap();
+        let mut engine = CisGraphO::<Ppsp>::new(&g, PairQuery::new(v(0), v(2)).unwrap());
+        assert_eq!(engine.answer().get(), 2.0);
+
+        let batch = vec![EdgeUpdate::delete(v(0), v(2), w(2.0))];
+        g.apply_batch(&batch).unwrap();
+        let r = engine.process_batch(&g, &batch);
+        assert_eq!(r.answer.get(), 6.0, "answer re-routes through v1");
+        assert_eq!(r.classification.unwrap().valuable_deletions, 1);
+    }
+
+    #[test]
+    fn delayed_deletion_keeps_answer_and_fixes_state() {
+        // Key path v0 -> v2 direct; side chain v0 -> v1 -> v3 (v1, v3 off
+        // the key path). Deleting v1 -> v3 is delayed: answer unchanged but
+        // v3's state must eventually be repaired.
+        let mut g = DynamicGraph::new(4);
+        g.insert_edge(v(0), v(2), w(1.0)).unwrap();
+        g.insert_edge(v(0), v(1), w(1.0)).unwrap();
+        g.insert_edge(v(1), v(3), w(1.0)).unwrap();
+        let mut engine = CisGraphO::<Ppsp>::new(&g, PairQuery::new(v(0), v(2)).unwrap());
+
+        let batch = vec![EdgeUpdate::delete(v(1), v(3), w(1.0))];
+        g.apply_batch(&batch).unwrap();
+        let r = engine.process_batch(&g, &batch);
+        assert_eq!(r.answer.get(), 1.0);
+        assert_eq!(r.classification.unwrap().delayed_deletions, 1);
+        // After the drain, v3 is unreached.
+        assert_eq!(engine.result().state(v(3)), State::POS_INF);
+        assert!(r.response_time <= r.total_time);
+    }
+
+    #[test]
+    fn reach_engine_tracks_disconnection() {
+        let mut g = DynamicGraph::new(3);
+        g.insert_edge(v(0), v(1), w(1.0)).unwrap();
+        g.insert_edge(v(1), v(2), w(1.0)).unwrap();
+        let mut engine = CisGraphO::<Reach>::new(&g, PairQuery::new(v(0), v(2)).unwrap());
+        assert_eq!(engine.answer().get(), 1.0);
+
+        let batch = vec![EdgeUpdate::delete(v(0), v(1), w(1.0))];
+        g.apply_batch(&batch).unwrap();
+        let r = engine.process_batch(&g, &batch);
+        assert_eq!(r.answer.get(), 0.0, "destination no longer reachable");
+    }
+
+    #[test]
+    fn grows_with_graph() {
+        let mut g = DynamicGraph::new(2);
+        g.insert_edge(v(0), v(1), w(1.0)).unwrap();
+        let mut engine = CisGraphO::<Ppsp>::new(&g, PairQuery::new(v(0), v(1)).unwrap());
+
+        // A batch that references a brand-new vertex id 5.
+        let batch = vec![EdgeUpdate::insert(v(1), v(5), w(1.0))];
+        let mut g2 = DynamicGraph::from_edges(6, g.iter_edges().collect::<Vec<_>>());
+        g2.apply_batch(&batch).unwrap();
+        let r = engine.process_batch(&g2, &batch);
+        assert_eq!(r.answer.get(), 1.0);
+        assert_eq!(engine.result().state(v(5)).get(), 2.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! The engine abstraction and per-batch report.
+
+use cisgraph_algo::classify::ClassificationSummary;
+use cisgraph_algo::Counters;
+use cisgraph_graph::DynamicGraph;
+use cisgraph_types::State;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// What one engine did for one batch.
+///
+/// `response_time` is the paper's headline metric: the wall-clock time until
+/// the engine can answer the pairwise query for the new snapshot. For
+/// engines without early response it equals `total_time`; for CISGraph-O it
+/// excludes the delayed-deletion tail.
+///
+/// # Examples
+///
+/// ```
+/// use cisgraph_engines::BatchReport;
+/// use cisgraph_types::State;
+///
+/// let r = BatchReport::new(State::new(3.0).unwrap());
+/// assert_eq!(r.answer.get(), 3.0);
+/// assert_eq!(r.total_time, std::time::Duration::ZERO);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchReport {
+    /// The converged query answer for the new snapshot.
+    pub answer: State,
+    /// Time until the answer was available.
+    pub response_time: Duration,
+    /// Time until the engine fully converged (including delayed work).
+    pub total_time: Duration,
+    /// Work performed across the whole batch.
+    pub counters: Counters,
+    /// Activations attributable to edge additions (Fig. 5(b)).
+    pub addition_activations: u64,
+    /// Activations attributable to edge deletions before the response
+    /// (the Fig. 5(b) quantity; the delayed drain is excluded).
+    pub deletion_activations: u64,
+    /// Activations of the post-response delayed-deletion drain.
+    pub drain_activations: u64,
+    /// Algorithm 1 outcome, when the engine classifies (CISGraph-O only).
+    pub classification: Option<ClassificationSummary>,
+}
+
+impl BatchReport {
+    /// A zeroed report carrying only an answer.
+    pub fn new(answer: State) -> Self {
+        Self {
+            answer,
+            response_time: Duration::ZERO,
+            total_time: Duration::ZERO,
+            counters: Counters::default(),
+            addition_activations: 0,
+            deletion_activations: 0,
+            drain_activations: 0,
+            classification: None,
+        }
+    }
+}
+
+/// A software engine answering one standing pairwise query over a stream of
+/// update batches.
+///
+/// Contract: the caller applies each batch to the shared [`DynamicGraph`]
+/// *before* calling [`StreamingEngine::process_batch`], so the engine sees
+/// post-batch topology (matching the accelerator workflow in §III-B, which
+/// updates the snapshot before identification). The same batch slice is
+/// passed so incremental engines know what changed.
+pub trait StreamingEngine<A: cisgraph_algo::MonotonicAlgorithm> {
+    /// Engine name as it appears in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Processes one batch against the already-updated `graph`.
+    fn process_batch(
+        &mut self,
+        graph: &DynamicGraph,
+        batch: &[cisgraph_types::EdgeUpdate],
+    ) -> BatchReport;
+
+    /// The engine's current answer for its standing query.
+    fn answer(&self) -> State;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_new_is_zeroed() {
+        let r = BatchReport::new(State::ZERO);
+        assert_eq!(r.counters, Counters::default());
+        assert_eq!(r.addition_activations, 0);
+        assert!(r.classification.is_none());
+    }
+
+    #[test]
+    fn report_serializes() {
+        let r = BatchReport::new(State::new(1.5).unwrap());
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("answer"));
+    }
+}

@@ -1,0 +1,330 @@
+//! Multi-query extension.
+//!
+//! The paper scopes itself to single queries ("we focus on single-query
+//! scenarios and leave the study of multi-query cases in future work",
+//! §III-A). This module implements the natural generalization: a set of
+//! standing pairwise queries served together.
+//!
+//! Queries are grouped by source — all queries `Q(s -> d_i)` share one
+//! converged result for `s`, so propagation work is shared. Deletion
+//! classification uses the *union* of the group's global key paths: a
+//! supporting deletion is non-delayed iff its source vertex lies on any
+//! member query's key path, which preserves the early-response exactness
+//! argument for every destination simultaneously.
+
+use crate::BatchReport;
+use cisgraph_algo::classify::{classify_addition, ClassificationSummary};
+use cisgraph_algo::{incremental, solver, ConvergedResult, Counters, KeyPath, MonotonicAlgorithm};
+use cisgraph_graph::{DynamicGraph, GraphView};
+use cisgraph_types::{Contribution, EdgeUpdate, PairQuery, State, VertexId};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// The union of several key paths, used for the delayed/non-delayed split.
+#[derive(Debug, Clone, Default)]
+struct KeyPathUnion {
+    members: HashSet<VertexId>,
+}
+
+impl KeyPathUnion {
+    fn extract<A: MonotonicAlgorithm>(
+        result: &ConvergedResult<A>,
+        source: VertexId,
+        destinations: &[VertexId],
+    ) -> Self {
+        let mut members = HashSet::new();
+        for &d in destinations {
+            if let Ok(q) = PairQuery::new(source, d) {
+                let kp = KeyPath::extract(result, q);
+                members.extend(kp.vertices().iter().copied());
+            }
+        }
+        Self { members }
+    }
+
+    fn contains(&self, v: VertexId) -> bool {
+        self.members.contains(&v)
+    }
+}
+
+/// One source group: a shared converged result serving many destinations.
+#[derive(Debug, Clone)]
+struct SourceGroup<A: MonotonicAlgorithm> {
+    source: VertexId,
+    destinations: Vec<VertexId>,
+    result: ConvergedResult<A>,
+}
+
+/// A set of standing pairwise queries answered together over one update
+/// stream.
+///
+/// # Examples
+///
+/// ```
+/// use cisgraph_engines::MultiQuery;
+/// use cisgraph_algo::Ppsp;
+/// use cisgraph_graph::DynamicGraph;
+/// use cisgraph_types::{EdgeUpdate, PairQuery, VertexId, Weight};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = DynamicGraph::new(3);
+/// g.apply(EdgeUpdate::insert(VertexId::new(0), VertexId::new(1), Weight::new(1.0)?))?;
+/// g.apply(EdgeUpdate::insert(VertexId::new(1), VertexId::new(2), Weight::new(1.0)?))?;
+/// let queries = vec![
+///     PairQuery::new(VertexId::new(0), VertexId::new(1))?,
+///     PairQuery::new(VertexId::new(0), VertexId::new(2))?,
+/// ];
+/// let mut mq = MultiQuery::<Ppsp>::new(&g, &queries);
+/// assert_eq!(mq.answer(queries[1]).unwrap().get(), 2.0);
+///
+/// let batch = vec![EdgeUpdate::insert(VertexId::new(0), VertexId::new(2), Weight::new(1.5)?)];
+/// g.apply_batch(&batch)?;
+/// mq.process_batch(&g, &batch);
+/// assert_eq!(mq.answer(queries[1]).unwrap().get(), 1.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiQuery<A: MonotonicAlgorithm> {
+    groups: Vec<SourceGroup<A>>,
+    index: HashMap<PairQuery, usize>,
+}
+
+impl<A: MonotonicAlgorithm> MultiQuery<A> {
+    /// Converges every distinct source on the initial snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query endpoint is outside `graph`.
+    pub fn new(graph: &DynamicGraph, queries: &[PairQuery]) -> Self {
+        let mut by_source: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
+        for q in queries {
+            by_source
+                .entry(q.source())
+                .or_default()
+                .push(q.destination());
+        }
+        let mut sources: Vec<_> = by_source.into_iter().collect();
+        sources.sort_by_key(|(s, _)| *s);
+        let mut groups = Vec::with_capacity(sources.len());
+        let mut index = HashMap::with_capacity(queries.len());
+        for (source, destinations) in sources {
+            let mut counters = Counters::new();
+            let result = solver::best_first::<A, _>(graph, source, &mut counters);
+            let gi = groups.len();
+            for &d in &destinations {
+                if let Ok(q) = PairQuery::new(source, d) {
+                    index.insert(q, gi);
+                }
+            }
+            groups.push(SourceGroup {
+                source,
+                destinations,
+                result,
+            });
+        }
+        Self { groups, index }
+    }
+
+    /// Number of distinct source groups (shared converged results).
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// All standing queries with their current answers.
+    pub fn answers(&self) -> Vec<(PairQuery, State)> {
+        let mut out: Vec<(PairQuery, State)> = self
+            .index
+            .iter()
+            .map(|(&q, &gi)| (q, self.groups[gi].result.state(q.destination())))
+            .collect();
+        out.sort_by_key(|(q, _)| (q.source(), q.destination()));
+        out
+    }
+
+    /// The current answer for one standing query, `None` if it was never
+    /// registered.
+    pub fn answer(&self, query: PairQuery) -> Option<State> {
+        let gi = *self.index.get(&query)?;
+        Some(self.groups[gi].result.state(query.destination()))
+    }
+
+    /// Processes one batch for every source group; the report aggregates
+    /// across groups (counters summed, times end-to-end).
+    pub fn process_batch(&mut self, graph: &DynamicGraph, batch: &[EdgeUpdate]) -> BatchReport {
+        let start = Instant::now();
+        let mut counters = Counters::new();
+        let mut summary = ClassificationSummary::default();
+        let pending = incremental::PendingDeletions::from_batch(batch.iter().copied());
+
+        let mut response_total = std::time::Duration::ZERO;
+        for group in &mut self.groups {
+            group.result.grow(graph.num_vertices());
+
+            // Additions (shared across all destinations of the group).
+            let mut valuable = Vec::new();
+            for update in batch.iter().filter(|u| u.kind().is_insert()) {
+                counters.computations += 1;
+                match classify_addition(&group.result, *update) {
+                    Contribution::Valuable => {
+                        summary.valuable_additions += 1;
+                        valuable.push(*update);
+                    }
+                    _ => {
+                        summary.useless_additions += 1;
+                        counters.updates_dropped += 1;
+                    }
+                }
+            }
+            incremental::apply_additions(graph, &mut group.result, &valuable, &mut counters);
+
+            // Deletions with the key-path union split + promotion loop.
+            let mut union = KeyPathUnion::extract(&group.result, group.source, &group.destinations);
+            let mut non_delayed = Vec::new();
+            let mut delayed = Vec::new();
+            for update in batch.iter().filter(|u| u.kind().is_delete()) {
+                counters.computations += 1;
+                let (u, v) = (update.src(), update.dst());
+                if v == group.source || group.result.parent(v) != Some(u) {
+                    summary.useless_deletions += 1;
+                    counters.updates_dropped += 1;
+                } else if union.contains(u) {
+                    summary.valuable_deletions += 1;
+                    non_delayed.push(*update);
+                } else {
+                    summary.delayed_deletions += 1;
+                    delayed.push(*update);
+                }
+            }
+            while !non_delayed.is_empty() {
+                for del in non_delayed.drain(..) {
+                    incremental::apply_deletion_with(
+                        graph,
+                        &mut group.result,
+                        del,
+                        &pending,
+                        &mut counters,
+                    );
+                }
+                union = KeyPathUnion::extract(&group.result, group.source, &group.destinations);
+                let mut rest = Vec::with_capacity(delayed.len());
+                for del in delayed.drain(..) {
+                    let (u, v) = (del.src(), del.dst());
+                    if group.result.parent(v) == Some(u) && union.contains(u) {
+                        non_delayed.push(del);
+                    } else {
+                        rest.push(del);
+                    }
+                }
+                delayed = rest;
+            }
+            response_total = start.elapsed();
+
+            for del in delayed {
+                incremental::apply_deletion_with(
+                    graph,
+                    &mut group.result,
+                    del,
+                    &pending,
+                    &mut counters,
+                );
+            }
+        }
+
+        // The report's answer slot carries the first registered query's
+        // answer; use `answers()` for the full set.
+        let answer = self
+            .answers()
+            .first()
+            .map(|&(_, s)| s)
+            .unwrap_or_else(A::unreached);
+        let mut report = BatchReport::new(answer);
+        report.response_time = response_total;
+        report.total_time = start.elapsed();
+        report.counters = counters;
+        report.classification = Some(summary);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ColdStart, StreamingEngine};
+    use cisgraph_algo::{Ppsp, Reach};
+    use cisgraph_datasets::erdos_renyi;
+    use cisgraph_datasets::weights::WeightDistribution;
+    use cisgraph_types::Weight;
+
+    fn v(x: u32) -> VertexId {
+        VertexId::new(x)
+    }
+
+    fn w(x: f64) -> Weight {
+        Weight::new(x).unwrap()
+    }
+
+    #[test]
+    fn shares_groups_by_source() {
+        let mut g = DynamicGraph::new(4);
+        g.insert_edge(v(0), v(1), w(1.0)).unwrap();
+        let queries = vec![
+            PairQuery::new(v(0), v(1)).unwrap(),
+            PairQuery::new(v(0), v(2)).unwrap(),
+            PairQuery::new(v(3), v(1)).unwrap(),
+        ];
+        let mq = MultiQuery::<Ppsp>::new(&g, &queries);
+        assert_eq!(mq.num_groups(), 2);
+        assert_eq!(mq.answers().len(), 3);
+        assert_eq!(mq.answer(queries[0]).unwrap().get(), 1.0);
+        assert!(mq.answer(PairQuery::new(v(2), v(3)).unwrap()).is_none());
+    }
+
+    #[test]
+    fn answers_match_cold_start_over_stream() {
+        let edges = erdos_renyi::generate(40, 300, WeightDistribution::paper_default(), 17);
+        let mut g = DynamicGraph::from_edges(40, edges.clone());
+        // Keep half the edges as a stream source.
+        let mut pool: Vec<EdgeUpdate> = Vec::new();
+        for (i, &(a, b, wt)) in edges.iter().enumerate() {
+            if i % 3 == 0 {
+                pool.push(EdgeUpdate::delete(a, b, wt));
+            }
+        }
+        let queries = vec![
+            PairQuery::new(v(0), v(7)).unwrap(),
+            PairQuery::new(v(0), v(23)).unwrap(),
+            PairQuery::new(v(5), v(31)).unwrap(),
+        ];
+        let mut mq = MultiQuery::<Ppsp>::new(&g, &queries);
+        for chunk in pool.chunks(20) {
+            g.apply_batch(chunk).unwrap();
+            mq.process_batch(&g, chunk);
+            for &q in &queries {
+                let mut cs = ColdStart::<Ppsp>::new(q);
+                let expected = cs.process_batch(&g, &[]).answer;
+                assert_eq!(mq.answer(q).unwrap(), expected, "query {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn reach_multi_query() {
+        let mut g = DynamicGraph::new(4);
+        g.insert_edge(v(0), v(1), w(1.0)).unwrap();
+        g.insert_edge(v(1), v(2), w(1.0)).unwrap();
+        let queries = vec![
+            PairQuery::new(v(0), v(2)).unwrap(),
+            PairQuery::new(v(0), v(3)).unwrap(),
+        ];
+        let mut mq = MultiQuery::<Reach>::new(&g, &queries);
+        assert_eq!(mq.answer(queries[0]).unwrap(), State::ONE);
+        assert_eq!(mq.answer(queries[1]).unwrap(), State::ZERO);
+
+        let batch = vec![EdgeUpdate::delete(v(1), v(2), w(1.0))];
+        g.apply_batch(&batch).unwrap();
+        let report = mq.process_batch(&g, &batch);
+        assert_eq!(mq.answer(queries[0]).unwrap(), State::ZERO);
+        assert!(report.classification.is_some());
+    }
+}

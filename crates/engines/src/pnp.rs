@@ -1,0 +1,164 @@
+//! PnP-style pruning baseline (§II-B related work).
+
+use crate::{BatchReport, StreamingEngine};
+use cisgraph_algo::{ConvergedResult, Counters, MonotonicAlgorithm};
+use cisgraph_graph::{DynamicGraph, GraphView};
+use cisgraph_types::{EdgeUpdate, PairQuery, State, VertexId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::marker::PhantomData;
+use std::time::Instant;
+
+/// Upper-bound pruning with early termination, in the spirit of PnP:
+/// "estimates an upper bound for each vertex and prunes any vertex that
+/// exceeds the bound during propagation."
+///
+/// Per snapshot the query is re-evaluated best-first from the source; the
+/// destination's best-known state acts as the evolving bound: any candidate
+/// that cannot beat it is pruned (sound for every monotonic algorithm here
+/// because extension never improves a state, the property tested in
+/// `cisgraph-algo`). The search stops when the destination settles.
+#[derive(Debug, Clone)]
+pub struct Pnp<A> {
+    query: PairQuery,
+    last_answer: State,
+    _algorithm: PhantomData<A>,
+}
+
+impl<A: MonotonicAlgorithm> Pnp<A> {
+    /// Creates the baseline for a standing query.
+    pub fn new(query: PairQuery) -> Self {
+        Self {
+            query,
+            last_answer: A::unreached(),
+            _algorithm: PhantomData,
+        }
+    }
+
+    fn pruned_search(&self, graph: &DynamicGraph, counters: &mut Counters) -> State {
+        let (s, d) = (self.query.source(), self.query.destination());
+        let mut result = ConvergedResult::<A>::fresh(graph.num_vertices(), s);
+        let mut heap: BinaryHeap<Reverse<(State, u32)>> = BinaryHeap::new();
+        heap.push(Reverse((A::rank(result.state(s)), s.raw())));
+        while let Some(Reverse((rank, raw))) = heap.pop() {
+            let u = VertexId::new(raw);
+            if rank != A::rank(result.state(u)) {
+                continue;
+            }
+            if u == d {
+                break; // destination settled
+            }
+            // Prune: if u itself can no longer beat the destination's
+            // best-known state, no extension of it can.
+            if u != s && rank >= A::rank(result.state(d)) {
+                continue;
+            }
+            let u_state = result.state(u);
+            for edge in graph.out_edges(u) {
+                counters.computations += 1;
+                let candidate = A::combine(u_state, edge.weight());
+                let v = edge.to();
+                if A::improves(candidate, result.state(v))
+                    && A::rank(candidate) < A::rank(result.state(d))
+                {
+                    result.set_state(v, candidate, Some(u));
+                    counters.activations += 1;
+                    heap.push(Reverse((A::rank(candidate), v.raw())));
+                }
+            }
+        }
+        result.state(d)
+    }
+}
+
+impl<A: MonotonicAlgorithm> StreamingEngine<A> for Pnp<A> {
+    fn name(&self) -> &'static str {
+        "PnP"
+    }
+
+    fn process_batch(&mut self, graph: &DynamicGraph, batch: &[EdgeUpdate]) -> BatchReport {
+        let start = Instant::now();
+        let mut counters = Counters::new();
+        counters.updates_processed = batch.len() as u64;
+        self.last_answer = self.pruned_search(graph, &mut counters);
+        let elapsed = start.elapsed();
+        let mut report = BatchReport::new(self.last_answer);
+        report.response_time = elapsed;
+        report.total_time = elapsed;
+        report.counters = counters;
+        report
+    }
+
+    fn answer(&self) -> State {
+        self.last_answer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ColdStart;
+    use cisgraph_algo::{Ppsp, Ppwp, Reach};
+    use cisgraph_datasets::erdos_renyi;
+    use cisgraph_datasets::weights::WeightDistribution;
+    use cisgraph_types::Weight;
+
+    fn w(x: f64) -> Weight {
+        Weight::new(x).unwrap()
+    }
+
+    fn v(x: u32) -> VertexId {
+        VertexId::new(x)
+    }
+
+    #[test]
+    fn answers_match_cold_start_on_random_graphs() {
+        for seed in 0..4u64 {
+            let edges = erdos_renyi::generate(50, 250, WeightDistribution::paper_default(), seed);
+            let g = DynamicGraph::from_edges(50, edges);
+            let q = PairQuery::new(v(0), v(29)).unwrap();
+            macro_rules! check {
+                ($a:ty) => {{
+                    let mut pnp = Pnp::<$a>::new(q);
+                    let mut cs = ColdStart::<$a>::new(q);
+                    let a = pnp.process_batch(&g, &[]).answer;
+                    let b = cs.process_batch(&g, &[]).answer;
+                    assert_eq!(a, b, "{} seed {seed}", pnp.name());
+                }};
+            }
+            check!(Ppsp);
+            check!(Ppwp);
+            check!(Reach);
+        }
+    }
+
+    #[test]
+    fn pruning_reduces_work() {
+        // Long chain plus direct edge: once the direct edge settles the
+        // destination, the chain should be pruned.
+        let mut g = DynamicGraph::new(102);
+        g.insert_edge(v(0), v(101), w(1.0)).unwrap();
+        for i in 0..100 {
+            g.insert_edge(v(i), v(i + 1), w(1.0)).unwrap();
+        }
+        let q = PairQuery::new(v(0), v(101)).unwrap();
+        let mut pnp = Pnp::<Ppsp>::new(q);
+        let mut cs = ColdStart::<Ppsp>::new(q);
+        let rp = pnp.process_batch(&g, &[]);
+        let rc = cs.process_batch(&g, &[]);
+        assert_eq!(rp.answer, rc.answer);
+        assert!(
+            rp.counters.computations < rc.counters.computations,
+            "pnp {} vs cs {}",
+            rp.counters.computations,
+            rc.counters.computations
+        );
+    }
+
+    #[test]
+    fn unreachable_destination() {
+        let g = DynamicGraph::new(3);
+        let mut pnp = Pnp::<Ppsp>::new(PairQuery::new(v(0), v(2)).unwrap());
+        assert_eq!(pnp.process_batch(&g, &[]).answer, State::POS_INF);
+    }
+}

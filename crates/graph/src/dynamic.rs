@@ -1,0 +1,345 @@
+//! Mutable adjacency-list graph that consumes streaming updates.
+
+use crate::{Csr, Edge, GraphError, GraphView, Snapshot};
+use cisgraph_types::{EdgeUpdate, UpdateKind, VertexId, Weight};
+
+/// A mutable directed graph keeping both out- and in-adjacency.
+///
+/// This is the structure the software engines mutate as update batches
+/// arrive. Maintaining the transpose alongside the forward adjacency costs
+/// 2× memory but makes deletion repair (recomputing a vertex from its
+/// in-neighbors) O(in-degree) instead of O(E).
+///
+/// Parallel edges are permitted; deletion removes one matching edge.
+///
+/// # Examples
+///
+/// ```
+/// use cisgraph_graph::{DynamicGraph, GraphView};
+/// use cisgraph_types::{EdgeUpdate, VertexId, Weight};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = DynamicGraph::new(3);
+/// let e = EdgeUpdate::insert(VertexId::new(0), VertexId::new(1), Weight::new(1.0)?);
+/// g.apply(e)?;
+/// assert!(g.contains_edge(VertexId::new(0), VertexId::new(1)));
+/// g.apply(EdgeUpdate::delete(VertexId::new(0), VertexId::new(1), Weight::new(1.0)?))?;
+/// assert_eq!(g.num_edges(), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DynamicGraph {
+    out: Vec<Vec<Edge>>,
+    inc: Vec<Vec<Edge>>,
+    num_edges: usize,
+}
+
+impl DynamicGraph {
+    /// Creates an empty graph with `num_vertices` isolated vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        Self {
+            out: vec![Vec::new(); num_vertices],
+            inc: vec![Vec::new(); num_vertices],
+            num_edges: 0,
+        }
+    }
+
+    /// Builds a graph from an edge triple list, sizing the vertex set to the
+    /// largest endpoint seen (or `min_vertices`, whichever is larger).
+    pub fn from_edges(
+        min_vertices: usize,
+        edges: impl IntoIterator<Item = (VertexId, VertexId, Weight)>,
+    ) -> Self {
+        let mut g = Self::new(min_vertices);
+        for (u, v, w) in edges {
+            let needed = u.index().max(v.index()) + 1;
+            if needed > g.out.len() {
+                g.grow(needed);
+            }
+            g.insert_edge_unchecked(u, v, w);
+        }
+        g
+    }
+
+    fn grow(&mut self, num_vertices: usize) {
+        self.out.resize_with(num_vertices, Vec::new);
+        self.inc.resize_with(num_vertices, Vec::new);
+    }
+
+    fn check(&self, v: VertexId) -> Result<(), GraphError> {
+        if v.index() >= self.out.len() {
+            return Err(GraphError::VertexOutOfBounds {
+                vertex: v,
+                num_vertices: self.out.len(),
+            });
+        }
+        Ok(())
+    }
+
+    fn insert_edge_unchecked(&mut self, u: VertexId, v: VertexId, w: Weight) {
+        self.out[u.index()].push(Edge::new(v, w));
+        self.inc[v.index()].push(Edge::new(u, w));
+        self.num_edges += 1;
+    }
+
+    /// Inserts the edge `u -> v` with weight `w`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfBounds`] if either endpoint is
+    /// outside the vertex set.
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId, w: Weight) -> Result<(), GraphError> {
+        self.check(u)?;
+        self.check(v)?;
+        self.insert_edge_unchecked(u, v, w);
+        Ok(())
+    }
+
+    /// Removes one edge `u -> v`, returning its weight.
+    ///
+    /// If parallel edges exist, the one matching `expect_weight` is preferred;
+    /// otherwise the first `u -> v` entry is removed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::EdgeNotFound`] if no `u -> v` edge exists and
+    /// [`GraphError::VertexOutOfBounds`] for invalid endpoints.
+    pub fn remove_edge(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        expect_weight: Option<Weight>,
+    ) -> Result<Weight, GraphError> {
+        self.check(u)?;
+        self.check(v)?;
+        let out = &mut self.out[u.index()];
+        let pos = match expect_weight {
+            Some(w) => out
+                .iter()
+                .position(|e| e.to() == v && e.weight() == w)
+                .or_else(|| out.iter().position(|e| e.to() == v)),
+            None => out.iter().position(|e| e.to() == v),
+        };
+        let Some(pos) = pos else {
+            return Err(GraphError::EdgeNotFound { src: u, dst: v });
+        };
+        let removed = out.swap_remove(pos);
+        let inc = &mut self.inc[v.index()];
+        let ipos = inc
+            .iter()
+            .position(|e| e.to() == u && e.weight() == removed.weight())
+            .expect("in-adjacency out of sync with out-adjacency");
+        inc.swap_remove(ipos);
+        self.num_edges -= 1;
+        Ok(removed.weight())
+    }
+
+    /// Applies one streaming update (insert or delete).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError::EdgeNotFound`] for deletions of absent edges
+    /// and [`GraphError::VertexOutOfBounds`] for invalid endpoints.
+    pub fn apply(&mut self, update: EdgeUpdate) -> Result<(), GraphError> {
+        match update.kind() {
+            UpdateKind::Insert => self.insert_edge(update.src(), update.dst(), update.weight()),
+            UpdateKind::Delete => self
+                .remove_edge(update.src(), update.dst(), Some(update.weight()))
+                .map(|_| ()),
+        }
+    }
+
+    /// Applies a whole batch, stopping at the first error.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DynamicGraph::apply`]; the graph retains all updates applied
+    /// before the failure.
+    pub fn apply_batch(&mut self, batch: &[EdgeUpdate]) -> Result<(), GraphError> {
+        for &u in batch {
+            self.apply(u)?;
+        }
+        Ok(())
+    }
+
+    /// Whether at least one `u -> v` edge exists.
+    pub fn contains_edge(&self, u: VertexId, v: VertexId) -> bool {
+        u.index() < self.out.len() && self.out[u.index()].iter().any(|e| e.to() == v)
+    }
+
+    /// Returns the weight of the first `u -> v` edge, if any.
+    pub fn edge_weight(&self, u: VertexId, v: VertexId) -> Option<Weight> {
+        if u.index() >= self.out.len() {
+            return None;
+        }
+        self.out[u.index()]
+            .iter()
+            .find(|e| e.to() == v)
+            .map(|e| e.weight())
+    }
+
+    /// Materializes an immutable CSR [`Snapshot`] of the current topology.
+    pub fn snapshot(&self) -> Snapshot {
+        let forward = Csr::from_adjacency(&self.out);
+        Snapshot::from_forward(forward)
+    }
+
+    /// Iterates over every edge as `(src, dst, weight)` triples.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (VertexId, VertexId, Weight)> + '_ {
+        self.out.iter().enumerate().flat_map(|(u, edges)| {
+            edges
+                .iter()
+                .map(move |e| (VertexId::from_index(u), e.to(), e.weight()))
+        })
+    }
+}
+
+impl GraphView for DynamicGraph {
+    fn num_vertices(&self) -> usize {
+        self.out.len()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    fn out_edges(&self, v: VertexId) -> &[Edge] {
+        &self.out[v.index()]
+    }
+
+    fn in_edges(&self, v: VertexId) -> &[Edge] {
+        &self.inc[v.index()]
+    }
+}
+
+impl Extend<(VertexId, VertexId, Weight)> for DynamicGraph {
+    fn extend<T: IntoIterator<Item = (VertexId, VertexId, Weight)>>(&mut self, iter: T) {
+        for (u, v, w) in iter {
+            let needed = u.index().max(v.index()) + 1;
+            if needed > self.out.len() {
+                self.grow(needed);
+            }
+            self.insert_edge_unchecked(u, v, w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(x: f64) -> Weight {
+        Weight::new(x).unwrap()
+    }
+
+    fn v(x: u32) -> VertexId {
+        VertexId::new(x)
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DynamicGraph::new(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.out_edges(v(4)).is_empty());
+    }
+
+    #[test]
+    fn insert_maintains_both_directions() {
+        let mut g = DynamicGraph::new(3);
+        g.insert_edge(v(0), v(2), w(1.5)).unwrap();
+        assert_eq!(g.out_edges(v(0)), &[Edge::new(v(2), w(1.5))]);
+        assert_eq!(g.in_edges(v(2)), &[Edge::new(v(0), w(1.5))]);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn remove_maintains_both_directions() {
+        let mut g = DynamicGraph::new(3);
+        g.insert_edge(v(0), v(1), w(1.0)).unwrap();
+        g.insert_edge(v(0), v(2), w(2.0)).unwrap();
+        let removed = g.remove_edge(v(0), v(1), None).unwrap();
+        assert_eq!(removed, w(1.0));
+        assert!(!g.contains_edge(v(0), v(1)));
+        assert!(g.in_edges(v(1)).is_empty());
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn remove_prefers_matching_weight_among_parallel_edges() {
+        let mut g = DynamicGraph::new(2);
+        g.insert_edge(v(0), v(1), w(1.0)).unwrap();
+        g.insert_edge(v(0), v(1), w(5.0)).unwrap();
+        let removed = g.remove_edge(v(0), v(1), Some(w(5.0))).unwrap();
+        assert_eq!(removed, w(5.0));
+        assert_eq!(g.edge_weight(v(0), v(1)), Some(w(1.0)));
+    }
+
+    #[test]
+    fn remove_missing_edge_errors() {
+        let mut g = DynamicGraph::new(2);
+        let err = g.remove_edge(v(0), v(1), None).unwrap_err();
+        assert!(matches!(err, GraphError::EdgeNotFound { .. }));
+    }
+
+    #[test]
+    fn out_of_bounds_errors() {
+        let mut g = DynamicGraph::new(2);
+        assert!(matches!(
+            g.insert_edge(v(0), v(9), w(1.0)),
+            Err(GraphError::VertexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn apply_batch_roundtrip() {
+        let mut g = DynamicGraph::new(4);
+        let batch = [
+            EdgeUpdate::insert(v(0), v(1), w(1.0)),
+            EdgeUpdate::insert(v(1), v(2), w(2.0)),
+            EdgeUpdate::delete(v(0), v(1), w(1.0)),
+        ];
+        g.apply_batch(&batch).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.contains_edge(v(1), v(2)));
+    }
+
+    #[test]
+    fn from_edges_grows_vertex_set() {
+        let g = DynamicGraph::from_edges(1, [(v(0), v(7), w(1.0))]);
+        assert_eq!(g.num_vertices(), 8);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn iter_edges_covers_all() {
+        let mut g = DynamicGraph::new(3);
+        g.insert_edge(v(0), v(1), w(1.0)).unwrap();
+        g.insert_edge(v(2), v(0), w(2.0)).unwrap();
+        let mut edges: Vec<_> = g.iter_edges().collect();
+        edges.sort_by_key(|&(u, _, _)| u);
+        assert_eq!(edges, vec![(v(0), v(1), w(1.0)), (v(2), v(0), w(2.0))]);
+    }
+
+    #[test]
+    fn extend_trait() {
+        let mut g = DynamicGraph::new(0);
+        g.extend([(v(0), v(1), w(1.0)), (v(1), v(2), w(1.0))]);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn snapshot_matches_dynamic() {
+        let mut g = DynamicGraph::new(3);
+        g.insert_edge(v(0), v(1), w(1.0)).unwrap();
+        g.insert_edge(v(0), v(2), w(2.0)).unwrap();
+        g.insert_edge(v(2), v(1), w(3.0)).unwrap();
+        let s = g.snapshot();
+        assert_eq!(s.num_vertices(), 3);
+        assert_eq!(s.num_edges(), 3);
+        assert_eq!(s.out_degree(v(0)), 2);
+        assert_eq!(s.in_degree(v(1)), 2);
+    }
+}

@@ -1,0 +1,106 @@
+//! Graph mutation and IO errors.
+
+use cisgraph_types::VertexId;
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Error produced by graph construction, mutation, or IO.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A vertex id referenced a vertex outside the graph.
+    VertexOutOfBounds {
+        /// The offending vertex.
+        vertex: VertexId,
+        /// Number of vertices in the graph.
+        num_vertices: usize,
+    },
+    /// An edge deletion targeted an edge that does not exist.
+    EdgeNotFound {
+        /// Source of the missing edge.
+        src: VertexId,
+        /// Destination of the missing edge.
+        dst: VertexId,
+    },
+    /// An edge-list file could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// An underlying IO failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::VertexOutOfBounds {
+                vertex,
+                num_vertices,
+            } => {
+                write!(
+                    f,
+                    "vertex {vertex} out of bounds for graph with {num_vertices} vertices"
+                )
+            }
+            Self::EdgeNotFound { src, dst } => {
+                write!(f, "edge {src} -> {dst} not found")
+            }
+            Self::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            Self::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl Error for GraphError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GraphError::VertexOutOfBounds {
+            vertex: VertexId::new(5),
+            num_vertices: 3,
+        };
+        assert!(e.to_string().contains("v5"));
+        assert!(e.to_string().contains('3'));
+        let e = GraphError::EdgeNotFound {
+            src: VertexId::new(1),
+            dst: VertexId::new(2),
+        };
+        assert!(e.to_string().contains("v1 -> v2"));
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        let inner = io::Error::new(io::ErrorKind::NotFound, "gone");
+        let e = GraphError::from(inner);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

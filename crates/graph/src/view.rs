@@ -1,0 +1,147 @@
+//! The read-only graph interface algorithms are written against.
+
+use crate::Edge;
+use cisgraph_types::VertexId;
+
+/// Read access to a directed, weighted graph.
+///
+/// Both the mutable [`DynamicGraph`](crate::DynamicGraph) and the immutable
+/// [`Snapshot`](crate::Snapshot) implement this trait, so solvers and engines
+/// are agnostic to the storage layout.
+///
+/// Edges are directed `u -> v`; `out_edges(u)` lists entries whose
+/// [`Edge::to`] is `v`, and `in_edges(v)` lists entries whose [`Edge::to`]
+/// is `u` (i.e. the transpose adjacency).
+///
+/// # Examples
+///
+/// ```
+/// use cisgraph_graph::{DynamicGraph, GraphView};
+/// use cisgraph_types::{EdgeUpdate, VertexId, Weight};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = DynamicGraph::new(3);
+/// g.apply(EdgeUpdate::insert(VertexId::new(0), VertexId::new(2), Weight::new(1.0)?))?;
+/// fn total_out_degree<G: GraphView>(g: &G) -> usize {
+///     (0..g.num_vertices()).map(|v| g.out_degree(VertexId::from_index(v))).sum()
+/// }
+/// assert_eq!(total_out_degree(&g), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub trait GraphView {
+    /// Number of vertices. Vertex ids range over `0..num_vertices()`.
+    fn num_vertices(&self) -> usize;
+
+    /// Number of directed edges.
+    fn num_edges(&self) -> usize;
+
+    /// Outgoing adjacency of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    fn out_edges(&self, v: VertexId) -> &[Edge];
+
+    /// Incoming adjacency of `v` (transpose entries point back at sources).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    fn in_edges(&self, v: VertexId) -> &[Edge];
+
+    /// Out-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    fn out_degree(&self, v: VertexId) -> usize {
+        self.out_edges(v).len()
+    }
+
+    /// In-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    fn in_degree(&self, v: VertexId) -> usize {
+        self.in_edges(v).len()
+    }
+
+    /// Whether `v` is a valid vertex id for this graph.
+    fn contains_vertex(&self, v: VertexId) -> bool {
+        v.index() < self.num_vertices()
+    }
+}
+
+/// A zero-cost transposed view: out-edges and in-edges are swapped.
+///
+/// Used by engines that run solvers on the reverse graph (e.g. SGraph's
+/// per-hub "distance *to* hub" arrays).
+///
+/// # Examples
+///
+/// ```
+/// use cisgraph_graph::{DynamicGraph, GraphView, ReversedView};
+/// use cisgraph_types::{EdgeUpdate, VertexId, Weight};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = DynamicGraph::new(2);
+/// g.apply(EdgeUpdate::insert(VertexId::new(0), VertexId::new(1), Weight::new(1.0)?))?;
+/// let r = ReversedView::new(&g);
+/// assert_eq!(r.out_degree(VertexId::new(1)), 1);
+/// assert_eq!(r.in_degree(VertexId::new(1)), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ReversedView<'a, G> {
+    inner: &'a G,
+}
+
+impl<'a, G: GraphView> ReversedView<'a, G> {
+    /// Wraps a graph in a transposed view.
+    pub fn new(inner: &'a G) -> Self {
+        Self { inner }
+    }
+}
+
+impl<G: GraphView> GraphView for ReversedView<'_, G> {
+    fn num_vertices(&self) -> usize {
+        self.inner.num_vertices()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.inner.num_edges()
+    }
+
+    fn out_edges(&self, v: VertexId) -> &[Edge] {
+        self.inner.in_edges(v)
+    }
+
+    fn in_edges(&self, v: VertexId) -> &[Edge] {
+        self.inner.out_edges(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DynamicGraph;
+    use cisgraph_types::Weight;
+
+    #[test]
+    fn reversed_view_swaps_directions() {
+        let mut g = DynamicGraph::new(3);
+        g.insert_edge(VertexId::new(0), VertexId::new(1), Weight::ONE)
+            .unwrap();
+        g.insert_edge(VertexId::new(2), VertexId::new(1), Weight::ONE)
+            .unwrap();
+        let r = ReversedView::new(&g);
+        assert_eq!(r.num_vertices(), 3);
+        assert_eq!(r.num_edges(), 2);
+        assert_eq!(r.out_edges(VertexId::new(1)).len(), 2);
+        assert_eq!(r.in_edges(VertexId::new(0)).len(), 1);
+        assert_eq!(r.out_edges(VertexId::new(1))[0].to(), VertexId::new(0));
+    }
+}

@@ -1,0 +1,168 @@
+//! Property tests: the dynamic graph against a naive multiset model, and
+//! CSR snapshots against the dynamic adjacency they were built from.
+
+use cisgraph_graph::{DynamicGraph, GraphView};
+use cisgraph_types::{EdgeUpdate, VertexId, Weight};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const N: u32 = 16;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u32, u32, u32),
+    Remove(u32, u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..N, 0..N, 1..50u32).prop_map(|(u, v, w)| Op::Insert(u, v, w)),
+        (0..N, 0..N).prop_map(|(u, v)| Op::Remove(u, v)),
+    ]
+}
+
+/// A trivially correct reference: multiset of directed edges.
+#[derive(Default)]
+struct Model {
+    edges: HashMap<(u32, u32), Vec<f64>>,
+    count: usize,
+}
+
+impl Model {
+    fn insert(&mut self, u: u32, v: u32, w: f64) {
+        self.edges.entry((u, v)).or_default().push(w);
+        self.count += 1;
+    }
+
+    fn remove(&mut self, u: u32, v: u32) -> bool {
+        if let Some(ws) = self.edges.get_mut(&(u, v)) {
+            if !ws.is_empty() {
+                ws.pop();
+                self.count -= 1;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dynamic_graph_matches_multiset_model(ops in proptest::collection::vec(op_strategy(), 0..200)) {
+        let mut g = DynamicGraph::new(N as usize);
+        let mut model = Model::default();
+        for op in ops {
+            match op {
+                Op::Insert(u, v, w) => {
+                    let w = f64::from(w);
+                    g.insert_edge(VertexId::new(u), VertexId::new(v), Weight::new(w).unwrap()).unwrap();
+                    model.insert(u, v, w);
+                }
+                Op::Remove(u, v) => {
+                    let ours = g.remove_edge(VertexId::new(u), VertexId::new(v), None).is_ok();
+                    let theirs = model.remove(u, v);
+                    prop_assert_eq!(ours, theirs, "removal presence diverged for {}->{}", u, v);
+                }
+            }
+        }
+        prop_assert_eq!(g.num_edges(), model.count);
+        // Edge multiplicity per pair matches (weights may differ in *which*
+        // parallel edge was removed, so compare counts only).
+        for u in 0..N {
+            for v in 0..N {
+                let ours = g.out_edges(VertexId::new(u)).iter().filter(|e| e.to().raw() == v).count();
+                let theirs = model.edges.get(&(u, v)).map(Vec::len).unwrap_or(0);
+                prop_assert_eq!(ours, theirs, "multiplicity of {}->{}", u, v);
+            }
+        }
+    }
+
+    #[test]
+    fn in_adjacency_mirrors_out_adjacency(ops in proptest::collection::vec(op_strategy(), 0..150)) {
+        let mut g = DynamicGraph::new(N as usize);
+        for op in ops {
+            match op {
+                Op::Insert(u, v, w) => {
+                    g.insert_edge(VertexId::new(u), VertexId::new(v), Weight::new(f64::from(w)).unwrap()).unwrap();
+                }
+                Op::Remove(u, v) => {
+                    let _ = g.remove_edge(VertexId::new(u), VertexId::new(v), None);
+                }
+            }
+        }
+        // Every out-edge (u -> v, w) appears exactly once as an in-edge of v.
+        let mut out_pairs: Vec<(u32, u32, u64)> = Vec::new();
+        let mut in_pairs: Vec<(u32, u32, u64)> = Vec::new();
+        for x in 0..N {
+            for e in g.out_edges(VertexId::new(x)) {
+                out_pairs.push((x, e.to().raw(), e.weight().get().to_bits()));
+            }
+            for e in g.in_edges(VertexId::new(x)) {
+                in_pairs.push((e.to().raw(), x, e.weight().get().to_bits()));
+            }
+        }
+        out_pairs.sort_unstable();
+        in_pairs.sort_unstable();
+        prop_assert_eq!(out_pairs, in_pairs);
+    }
+
+    #[test]
+    fn snapshot_preserves_adjacency(ops in proptest::collection::vec(op_strategy(), 0..150)) {
+        let mut g = DynamicGraph::new(N as usize);
+        for op in ops {
+            match op {
+                Op::Insert(u, v, w) => {
+                    g.insert_edge(VertexId::new(u), VertexId::new(v), Weight::new(f64::from(w)).unwrap()).unwrap();
+                }
+                Op::Remove(u, v) => {
+                    let _ = g.remove_edge(VertexId::new(u), VertexId::new(v), None);
+                }
+            }
+        }
+        let s = g.snapshot();
+        prop_assert_eq!(s.num_vertices(), g.num_vertices());
+        prop_assert_eq!(s.num_edges(), g.num_edges());
+        for x in 0..N {
+            let x = VertexId::new(x);
+            let mut a: Vec<_> = g.out_edges(x).to_vec();
+            let mut b: Vec<_> = s.out_edges(x).to_vec();
+            a.sort_by_key(|e| (e.to(), e.weight()));
+            b.sort_by_key(|e| (e.to(), e.weight()));
+            prop_assert_eq!(a, b, "out edges of {}", x);
+            let mut a: Vec<_> = g.in_edges(x).to_vec();
+            let mut b: Vec<_> = s.in_edges(x).to_vec();
+            a.sort_by_key(|e| (e.to(), e.weight()));
+            b.sort_by_key(|e| (e.to(), e.weight()));
+            prop_assert_eq!(a, b, "in edges of {}", x);
+        }
+    }
+
+    #[test]
+    fn apply_batch_equals_manual_ops(weights in proptest::collection::vec((0..N, 0..N, 1..9u32), 1..40)) {
+        // Insert everything as a batch, then delete half as a batch; the
+        // result equals manual application.
+        let mut manual = DynamicGraph::new(N as usize);
+        let mut batched = DynamicGraph::new(N as usize);
+        let inserts: Vec<EdgeUpdate> = weights
+            .iter()
+            .map(|&(u, v, w)| EdgeUpdate::insert(VertexId::new(u), VertexId::new(v), Weight::new(f64::from(w)).unwrap()))
+            .collect();
+        let deletes: Vec<EdgeUpdate> = inserts
+            .iter()
+            .step_by(2)
+            .map(|e| EdgeUpdate::delete(e.src(), e.dst(), e.weight()))
+            .collect();
+
+        for &e in &inserts {
+            manual.apply(e).unwrap();
+        }
+        for &e in &deletes {
+            manual.apply(e).unwrap();
+        }
+        batched.apply_batch(&inserts).unwrap();
+        batched.apply_batch(&deletes).unwrap();
+        prop_assert_eq!(manual.num_edges(), batched.num_edges());
+    }
+}

@@ -1,0 +1,153 @@
+//! Bounded FIFO queues for pipeline plumbing.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO with backpressure.
+///
+/// Pipeline stages communicate through these: a stage that fails to `push`
+/// stalls (retries next cycle), which is how the accelerator model expresses
+/// structural hazards.
+///
+/// # Examples
+///
+/// ```
+/// use cisgraph_sim::Fifo;
+///
+/// let mut q = Fifo::new(2);
+/// assert!(q.push(1).is_ok());
+/// assert!(q.push(2).is_ok());
+/// assert!(q.push(3).is_err(), "full queue applies backpressure");
+/// assert_eq!(q.pop(), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fifo<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> Fifo<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "fifo capacity must be positive");
+        Self {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Attempts to enqueue; on a full queue the value is handed back as
+    /// `Err` so the producer can retry next cycle.
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        if self.items.len() >= self.capacity {
+            return Err(value);
+        }
+        self.items.push_back(value);
+        Ok(())
+    }
+
+    /// Pushes to the *front* (highest priority) — used by the scheduling
+    /// buffer to preempt with valuable updates. Fails like [`Fifo::push`]
+    /// when full.
+    pub fn push_front(&mut self, value: T) -> Result<(), T> {
+        if self.items.len() >= self.capacity {
+            return Err(value);
+        }
+        self.items.push_front(value);
+        Ok(())
+    }
+
+    /// Dequeues the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Peeks at the oldest item.
+    pub fn peek(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the queue is full.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterates over queued items, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = Fifo::new(3);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn backpressure_returns_value() {
+        let mut q = Fifo::new(1);
+        q.push("a").unwrap();
+        assert_eq!(q.push("b"), Err("b"));
+        assert!(q.is_full());
+    }
+
+    #[test]
+    fn push_front_preempts() {
+        let mut q = Fifo::new(3);
+        q.push(1).unwrap();
+        q.push_front(0).unwrap();
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn push_front_respects_capacity() {
+        let mut q = Fifo::new(1);
+        q.push(1).unwrap();
+        assert_eq!(q.push_front(0), Err(0));
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = Fifo::new(2);
+        assert!(q.is_empty());
+        q.push(7).unwrap();
+        assert_eq!(q.peek(), Some(&7));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.capacity(), 2);
+        assert_eq!(q.iter().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _: Fifo<u8> = Fifo::new(0);
+    }
+}

@@ -1,0 +1,157 @@
+//! The combined memory system: scratchpad in front of DRAM.
+
+use crate::{Cycle, DramConfig, DramModel, MemStats, Spm, SpmConfig};
+
+/// SPM + DRAM glued together, the way the accelerator's prefetchers see
+/// memory: a read that hits the SPM costs its access latency; a miss
+/// fetches the missing lines over the appropriate DRAM channels, installs
+/// them (possibly writing back dirty victims), and completes when the last
+/// line arrives.
+///
+/// # Examples
+///
+/// ```
+/// use cisgraph_sim::{DramConfig, MemorySystem, SpmConfig};
+///
+/// let mut mem = MemorySystem::new(SpmConfig::date2025(), DramConfig::ddr4_3200());
+/// let cold = mem.read(0, 64, 0);
+/// let hot = mem.read(0, 64, cold) - cold;
+/// assert!(hot < cold);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    spm: Spm,
+    dram: DramModel,
+}
+
+impl MemorySystem {
+    /// Builds the hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate SPM geometry or a zero-channel DRAM config.
+    pub fn new(spm: SpmConfig, dram: DramConfig) -> Self {
+        Self {
+            spm: Spm::new(spm),
+            dram: DramModel::new(dram),
+        }
+    }
+
+    /// Reads `bytes` at `addr`; returns the completion cycle.
+    pub fn read(&mut self, addr: u64, bytes: u64, now: Cycle) -> Cycle {
+        let access = self.spm.read(addr, bytes);
+        let mut done = now + self.spm.latency();
+        for wb in &access.writebacks {
+            // Write-backs drain in the background; they occupy the channel
+            // but do not delay this read.
+            self.dram.write(*wb, self.spm.config().line_bytes, now);
+        }
+        for line in &access.miss_lines {
+            done = done
+                .max(self.dram.read(*line, self.spm.config().line_bytes, now) + self.spm.latency());
+        }
+        done
+    }
+
+    /// Writes `bytes` at `addr` (write-allocate); returns the completion
+    /// cycle of the SPM update — the DRAM fill of a missing line overlaps.
+    pub fn write(&mut self, addr: u64, bytes: u64, now: Cycle) -> Cycle {
+        let access = self.spm.write(addr, bytes);
+        for wb in &access.writebacks {
+            self.dram.write(*wb, self.spm.config().line_bytes, now);
+        }
+        let mut done = now + self.spm.latency();
+        for line in &access.miss_lines {
+            // Write-allocate: the line must be fetched before merging.
+            done = done
+                .max(self.dram.read(*line, self.spm.config().line_bytes, now) + self.spm.latency());
+        }
+        done
+    }
+
+    /// Quiesces DRAM timing for a new batch timeline (see
+    /// [`DramModel::quiesce`]); SPM contents and all statistics persist.
+    pub fn quiesce(&mut self) {
+        self.dram.quiesce();
+    }
+
+    /// Combined statistics of both levels.
+    pub fn stats(&self) -> MemStats {
+        let mut s = *self.dram.stats();
+        s.spm_hits = self.spm.hits();
+        s.spm_misses = self.spm.misses();
+        s.spm_writebacks = self.spm.writebacks();
+        s
+    }
+
+    /// The scratchpad level.
+    pub fn spm(&self) -> &Spm {
+        &self.spm
+    }
+
+    /// The DRAM level.
+    pub fn dram(&self) -> &DramModel {
+        &self.dram
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> MemorySystem {
+        MemorySystem::new(SpmConfig::date2025(), DramConfig::ddr4_3200())
+    }
+
+    #[test]
+    fn hit_is_one_cycle() {
+        let mut m = mem();
+        let t1 = m.read(0, 8, 0);
+        let t2 = m.read(0, 8, t1);
+        assert_eq!(t2 - t1, 1, "SPM hit costs the 0.8ns latency");
+    }
+
+    #[test]
+    fn miss_pays_dram() {
+        let mut m = mem();
+        let t = m.read(0, 8, 0);
+        assert!(t > 10, "cold miss must include DRAM latency, got {t}");
+        assert_eq!(m.stats().spm_misses, 1);
+        assert_eq!(m.stats().dram_reads, 1);
+    }
+
+    #[test]
+    fn spanning_read_fetches_all_lines() {
+        let mut m = mem();
+        m.read(0, 256, 0);
+        assert_eq!(m.stats().dram_reads, 4); // 256 / 64
+    }
+
+    #[test]
+    fn write_allocates() {
+        let mut m = mem();
+        m.write(0, 8, 0);
+        assert_eq!(m.stats().spm_misses, 1);
+        let t = m.read(0, 8, 100);
+        assert_eq!(t, 101, "written line is resident");
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_lines() {
+        // Tiny SPM to force evictions quickly.
+        let spm = SpmConfig {
+            capacity_bytes: 1024,
+            line_bytes: 64,
+            ways: 2,
+            access_latency: 1,
+        };
+        let mut m = MemorySystem::new(spm, DramConfig::ddr4_3200());
+        let sets = spm.num_sets() as u64; // 8
+        let stride = sets * 64;
+        m.write(0, 8, 0);
+        m.write(stride, 8, 0);
+        m.write(2 * stride, 8, 0); // evicts dirty line 0
+        assert_eq!(m.stats().spm_writebacks, 1);
+        assert_eq!(m.stats().dram_writes, 1);
+    }
+}

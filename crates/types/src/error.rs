@@ -1,0 +1,83 @@
+//! Error type for constructing vocabulary values.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when constructing a vocabulary type from invalid input.
+///
+/// # Examples
+///
+/// ```
+/// use cisgraph_types::{TypeError, Weight};
+///
+/// let err = Weight::new(f64::NAN).unwrap_err();
+/// assert!(matches!(err, TypeError::NonFiniteWeight { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TypeError {
+    /// The weight was NaN or infinite.
+    NonFiniteWeight {
+        /// The offending raw value.
+        value: f64,
+    },
+    /// The weight was zero or negative; every algorithm in the evaluation
+    /// requires strictly positive weights.
+    NonPositiveWeight {
+        /// The offending raw value.
+        value: f64,
+    },
+    /// The state value was NaN.
+    NanState,
+    /// A pairwise query named the same vertex as source and destination.
+    DegeneratePair {
+        /// The vertex used for both endpoints.
+        vertex: u32,
+    },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NonFiniteWeight { value } => {
+                write!(f, "edge weight must be finite, got {value}")
+            }
+            Self::NonPositiveWeight { value } => {
+                write!(f, "edge weight must be strictly positive, got {value}")
+            }
+            Self::NanState => write!(f, "state value must not be NaN"),
+            Self::DegeneratePair { vertex } => {
+                write!(
+                    f,
+                    "pairwise query requires distinct vertices, got v{vertex} twice"
+                )
+            }
+        }
+    }
+}
+
+impl Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = TypeError::NonFiniteWeight {
+            value: f64::INFINITY,
+        };
+        assert!(e.to_string().contains("finite"));
+        let e = TypeError::NonPositiveWeight { value: -1.0 };
+        assert!(e.to_string().contains("positive"));
+        let e = TypeError::DegeneratePair { vertex: 3 };
+        assert!(e.to_string().contains("v3"));
+        assert!(TypeError::NanState.to_string().contains("NaN"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<TypeError>();
+    }
+}

@@ -1,0 +1,41 @@
+//! Core vocabulary types for the CISGraph reproduction.
+//!
+//! This crate defines the small, `Copy`-friendly types shared by every other
+//! crate in the workspace: vertex identifiers ([`VertexId`]), validated edge
+//! weights ([`Weight`]), algorithm states ([`State`]), streaming updates
+//! ([`EdgeUpdate`], [`UpdateKind`]), pairwise queries ([`PairQuery`]), and the
+//! three contribution levels that the CISGraph workflow assigns to updates
+//! ([`Contribution`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use cisgraph_types::{EdgeUpdate, PairQuery, VertexId, Weight};
+//!
+//! # fn main() -> Result<(), cisgraph_types::TypeError> {
+//! let q = PairQuery::new(VertexId::new(0), VertexId::new(5))?;
+//! let add = EdgeUpdate::insert(VertexId::new(2), VertexId::new(5), Weight::new(1.0)?);
+//! assert!(add.kind().is_insert());
+//! assert_eq!(q.source(), VertexId::new(0));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod contribution;
+mod error;
+mod ids;
+mod query;
+mod state;
+mod update;
+mod weight;
+
+pub use contribution::Contribution;
+pub use error::TypeError;
+pub use ids::{EdgeId, VertexId};
+pub use query::PairQuery;
+pub use state::State;
+pub use update::{EdgeUpdate, UpdateKind};
+pub use weight::Weight;

@@ -1,0 +1,99 @@
+//! Define your own monotonic algorithm outside the library.
+//!
+//! `MonotonicAlgorithm` is a public extension point: any ⊕/⊗ pair that
+//! satisfies the two monotonicity laws (⊕ never improves on its input;
+//! ⊕ monotone in the state argument) gets the whole stack for free —
+//! solvers, incremental computation with deletion repair, Algorithm 1
+//! classification, every engine, and the cycle-level accelerator.
+//!
+//! Here: `Hops`, the minimum *hop count* (edge weights ignored), a
+//! BFS-flavored metric navigation systems use for "fewest transfers".
+//!
+//! ```text
+//! cargo run --release --example custom_algorithm
+//! ```
+
+use cisgraph::prelude::*;
+
+/// Minimum-hop path: ⊕ `T = u.state + 1`, ⊗ `MIN(T, v.state)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct Hops;
+
+impl MonotonicAlgorithm for Hops {
+    const NAME: &'static str = "Hops";
+    // Reuse the PPSP kind for harness dispatch: Hops is shortest-path
+    // shaped (min-select, additive), which is all `KIND` is used for.
+    const KIND: AlgorithmKind = AlgorithmKind::Ppsp;
+
+    fn unreached() -> State {
+        State::POS_INF
+    }
+
+    fn source_state() -> State {
+        State::ZERO
+    }
+
+    fn combine(u_state: State, _w: Weight) -> State {
+        State::new_unchecked(u_state.get() + 1.0)
+    }
+
+    fn concat(a: State, b: State) -> State {
+        State::new_unchecked(a.get() + b.get())
+    }
+
+    fn rank(state: State) -> State {
+        state
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small transit network: express line 0 -> 9 with big weights but few
+    // hops, local line with small weights but many hops.
+    let mut g = DynamicGraph::new(12);
+    let w = |x: f64| Weight::new(x).expect("positive");
+    let v = |x: u32| VertexId::new(x);
+    // Local line: 0 -1-> 1 -1-> 2 ... -1-> 9 (9 hops, cost 9).
+    for i in 0..9 {
+        g.insert_edge(v(i), v(i + 1), w(1.0))?;
+    }
+    // Express: 0 -10-> 10 -10-> 9 (2 hops, cost 20).
+    g.insert_edge(v(0), v(10), w(10.0))?;
+    g.insert_edge(v(10), v(9), w(10.0))?;
+
+    let query = PairQuery::new(v(0), v(9))?;
+
+    // PPSP prefers the cheap local line; Hops prefers the express.
+    let ppsp = CisGraphO::<Ppsp>::new(&g, query);
+    let hops = CisGraphO::<Hops>::new(&g, query);
+    println!(
+        "{query}: travel time {} (PPSP), transfers {} (Hops)",
+        ppsp.answer(),
+        hops.answer()
+    );
+    assert_eq!(ppsp.answer().get(), 9.0);
+    assert_eq!(hops.answer().get(), 2.0);
+
+    // The custom algorithm streams like any built-in: close the express.
+    let mut hops = hops;
+    let batch = vec![EdgeUpdate::delete(v(0), v(10), w(10.0))];
+    let mut g2 = g.clone();
+    g2.apply_batch(&batch)?;
+    let report = hops.process_batch(&g2, &batch);
+    println!("after closing the express: {} transfers", report.answer);
+    assert_eq!(report.answer.get(), 9.0);
+
+    // ...and runs on the cycle-level accelerator unchanged.
+    let mut accel = CisGraphAccel::<Hops>::new(&g, query, AcceleratorConfig::date2025());
+    let r = accel.process_batch(&g2, &batch);
+    println!(
+        "accelerator agrees: {} transfers in {} simulated cycles",
+        r.answer, r.response_cycles
+    );
+    assert_eq!(r.answer.get(), 9.0);
+
+    // Cross-check against a cold solve.
+    let fresh = solver::best_first::<Hops, _>(&g2, query.source(), &mut Counters::new());
+    assert_eq!(fresh.state(query.destination()).get(), 9.0);
+    println!("verified against full recomputation");
+    Ok(())
+}

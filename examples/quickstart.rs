@@ -1,0 +1,90 @@
+//! Quickstart: the paper's Fig. 3 worked example, end to end.
+//!
+//! Builds the six-vertex snapshot, runs the standing query Q(v0 -> v5),
+//! classifies two candidate edge additions with Algorithm 1, and shows how
+//! the CISGraph-O engine reacts to each.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use cisgraph::prelude::*;
+use cisgraph_algo::classify::classify_addition;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Fig. 3, left snapshot: initial shortest path for Q(v0 -> v5) is the
+    // direct edge of length 5; v2 is one hop from v0; v1/v4 are off-path.
+    let mut g = DynamicGraph::new(6);
+    g.apply(EdgeUpdate::insert(
+        VertexId::new(0),
+        VertexId::new(5),
+        Weight::new(5.0)?,
+    ))?;
+    g.apply(EdgeUpdate::insert(
+        VertexId::new(0),
+        VertexId::new(2),
+        Weight::new(1.0)?,
+    ))?;
+    g.apply(EdgeUpdate::insert(
+        VertexId::new(1),
+        VertexId::new(4),
+        Weight::new(1.0)?,
+    ))?;
+
+    let query = PairQuery::new(VertexId::new(0), VertexId::new(5))?;
+    let mut engine = CisGraphO::<Ppsp>::new(&g, query);
+    println!("initial answer for {query}: {}", engine.answer());
+    assert_eq!(engine.answer().get(), 5.0);
+
+    // Candidate 1 (the paper's "useless" addition): v0 -> v1 (1). It
+    // improves v1's state but can never reach v5 — conventional incremental
+    // processing would still spend propagation on it.
+    let useless_for_answer =
+        EdgeUpdate::insert(VertexId::new(0), VertexId::new(1), Weight::new(1.0)?);
+
+    // Candidate 2 (the paper's "valuable" addition): v2 -> v5 (1) shortens
+    // the answer from 5 to 2 via v0-v2-v5.
+    let valuable = EdgeUpdate::insert(VertexId::new(2), VertexId::new(5), Weight::new(1.0)?);
+
+    // Classification happens against the converged state (triangle
+    // inequality): state[v2] + w = 1 + 1 = 2 < 5 = state[v5].
+    let converged = engine.result();
+    println!(
+        "classify {}: {}",
+        valuable,
+        classify_addition(converged, valuable)
+    );
+    println!(
+        "classify {}: {} (for v1's own state; it contributes nothing to {query})",
+        useless_for_answer,
+        classify_addition(converged, useless_for_answer)
+    );
+
+    // Stream both as one batch; the engine reports what it dropped,
+    // propagated, and how fast it answered.
+    let batch = vec![useless_for_answer, valuable];
+    g.apply_batch(&batch)?;
+    let report = engine.process_batch(&g, &batch);
+
+    println!("\nafter the batch:");
+    println!("  answer           : {}", report.answer);
+    println!("  response time    : {:?}", report.response_time);
+    println!("  computations     : {}", report.counters.computations);
+    let summary = report.classification.expect("CISGraph-O classifies");
+    println!(
+        "  classified       : {} valuable / {} useless additions",
+        summary.valuable_additions, summary.useless_additions
+    );
+    assert_eq!(
+        report.answer.get(),
+        2.0,
+        "v0-v2-v5 is the new global key path"
+    );
+
+    // The global key path can be read off the parent pointers.
+    let key_path = KeyPath::extract(engine.result(), query);
+    let path: Vec<String> = key_path.vertices().iter().map(|v| v.to_string()).collect();
+    println!("  global key path  : {}", path.join(" -> "));
+    assert_eq!(key_path.vertices().len(), 3);
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Cycle-accounting regression tests for the accelerator model: each
+//! batch gets a fresh timeline (the memory system quiesces while the next
+//! batch gathers), so reservations never leak across batches.
+
+use cisgraph::prelude::*;
+use cisgraph_datasets::queries::random_connected_pairs;
+
+#[test]
+fn batch_timelines_do_not_leak() {
+    let edges = registry::orkut_like().generate(0.001, 5);
+    let mut stream = StreamConfig::paper_default()
+        .with_batch_size(200, 200)
+        .build(edges, 5);
+    let mut g = DynamicGraph::new(stream.num_vertices());
+    for &(u, v, w) in stream.initial_edges() {
+        g.insert_edge(u, v, w).unwrap();
+    }
+    let q = random_connected_pairs(&g, 1, 11)[0];
+    let mut accel = CisGraphAccel::<Ppsp>::new(&g, q, AcceleratorConfig::date2025());
+
+    // A heavy batch leaves long DRAM reservations behind.
+    let heavy = stream.next_batch().unwrap();
+    g.apply_batch(&heavy).unwrap();
+    let first = accel.process_batch(&g, &heavy);
+    assert!(
+        first.total_cycles > 1000,
+        "heavy batch should be nontrivial"
+    );
+
+    // A single useless addition afterwards must cost a handful of cycles
+    // (two warm state reads + one ALU cycle), not inherit the heavy
+    // batch's reservations.
+    let (u, v, w) = g.iter_edges().next().unwrap();
+    let noop = vec![EdgeUpdate::insert(
+        u,
+        v,
+        Weight::new(w.get() + 50.0).unwrap(),
+    )];
+    g.apply_batch(&noop).unwrap();
+    let tiny = accel.process_batch(&g, &noop);
+    assert_eq!(tiny.classification.useless_additions, 1);
+    assert!(
+        tiny.total_cycles < 200,
+        "a useless singleton batch must be near-free, got {} cycles",
+        tiny.total_cycles
+    );
+}

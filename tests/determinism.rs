@@ -1,0 +1,56 @@
+//! Reproducibility guarantees: identical seeds produce identical workloads,
+//! identical functional results, and identical cycle-level reports — the
+//! property that makes EXPERIMENTS.md numbers comparable across runs.
+
+use cisgraph::prelude::*;
+use cisgraph_datasets::queries::random_connected_pairs;
+
+fn build(seed: u64) -> (DynamicGraph, Vec<EdgeUpdate>, PairQuery) {
+    let edges = registry::orkut_like().generate(0.001, seed);
+    let mut stream = StreamConfig::paper_default()
+        .with_batch_size(150, 150)
+        .build(edges, seed);
+    let mut g = DynamicGraph::new(stream.num_vertices());
+    for &(u, v, w) in stream.initial_edges() {
+        g.insert_edge(u, v, w).unwrap();
+    }
+    let q = random_connected_pairs(&g, 1, seed)[0];
+    let batch = stream.next_batch().unwrap();
+    (g, batch, q)
+}
+
+#[test]
+fn accelerator_reports_are_bit_identical_across_runs() {
+    let run = || {
+        let (mut g, batch, q) = build(77);
+        let mut accel = CisGraphAccel::<Ppsp>::new(&g, q, AcceleratorConfig::date2025());
+        g.apply_batch(&batch).unwrap();
+        accel.process_batch(&g, &batch)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(
+        a, b,
+        "same seed must give the same cycles, stats, and answer"
+    );
+    assert!(a.total_cycles > 0);
+}
+
+#[test]
+fn engine_counters_are_deterministic() {
+    let run = || {
+        let (mut g, batch, q) = build(31);
+        let mut engine = CisGraphO::<Ppwp>::new(&g, q);
+        g.apply_batch(&batch).unwrap();
+        let r = engine.process_batch(&g, &batch);
+        (r.answer, r.counters, r.classification)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn different_seeds_give_different_workloads() {
+    let (_, batch_a, _) = build(1);
+    let (_, batch_b, _) = build(2);
+    assert_ne!(batch_a, batch_b);
+}

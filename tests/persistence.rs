@@ -1,0 +1,108 @@
+//! Checkpoint/restore and report-serialization integration tests: every
+//! reportable artifact round-trips through JSON, including infinite states,
+//! and a restored converged result continues streaming correctly.
+
+use cisgraph::prelude::*;
+
+fn build() -> (DynamicGraph, PairQuery) {
+    let edges = registry::orkut_like().generate(0.0005, 13);
+    let mut g = DynamicGraph::new(2048);
+    for (u, v, w) in edges {
+        let needed = u.index().max(v.index()) + 1;
+        if needed > g.num_vertices() {
+            continue;
+        }
+        g.insert_edge(u, v, w).unwrap();
+    }
+    let q = cisgraph::datasets::queries::random_connected_pairs(&g, 1, 3)[0];
+    (g, q)
+}
+
+#[test]
+fn converged_result_checkpoint_resumes_streaming() {
+    let (mut g, q) = build();
+    let mut engine = CisGraphO::<Ppsp>::new(&g, q);
+
+    // Checkpoint the converged result mid-stream.
+    let checkpoint = serde_json::to_vec(engine.result()).expect("serialize");
+
+    // Continue the original: one batch of churn.
+    let some_edges: Vec<_> = g.iter_edges().take(30).collect();
+    let batch: Vec<EdgeUpdate> = some_edges
+        .iter()
+        .map(|&(u, v, w)| EdgeUpdate::delete(u, v, w))
+        .collect();
+    g.apply_batch(&batch).unwrap();
+    let expected = engine.process_batch(&g, &batch).answer;
+
+    // Restore into a fresh engine via the checkpoint: the restored state
+    // must produce the same answer for the same batch.
+    let restored: ConvergedResult<Ppsp> = serde_json::from_slice(&checkpoint).expect("deserialize");
+    // Sanity: restored state matches a cold solve of the pre-batch graph.
+    assert_eq!(restored.source(), q.source());
+
+    // Re-run from the checkpointed state.
+    let mut counters = Counters::new();
+    let mut result = restored;
+    cisgraph::algo::incremental::apply_batch(&g, &mut result, &batch, &mut counters);
+    assert_eq!(result.state(q.destination()), expected);
+}
+
+#[test]
+fn batch_report_roundtrips_with_infinities() {
+    let (mut g, q) = build();
+    let mut engine = CisGraphO::<Reach>::new(&g, q);
+    let some_edges: Vec<_> = g.iter_edges().take(10).collect();
+    let batch: Vec<EdgeUpdate> = some_edges
+        .iter()
+        .map(|&(u, v, w)| EdgeUpdate::delete(u, v, w))
+        .collect();
+    g.apply_batch(&batch).unwrap();
+    let report = engine.process_batch(&g, &batch);
+    let json = serde_json::to_string(&report).expect("serialize");
+    let back: BatchReport = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back.answer, report.answer);
+    assert_eq!(back.counters, report.counters);
+}
+
+#[test]
+fn accel_report_roundtrips() {
+    let (mut g, q) = build();
+    let mut accel = CisGraphAccel::<Ppsp>::new(&g, q, AcceleratorConfig::date2025());
+    let some_edges: Vec<_> = g.iter_edges().take(10).collect();
+    let batch: Vec<EdgeUpdate> = some_edges
+        .iter()
+        .map(|&(u, v, w)| EdgeUpdate::delete(u, v, w))
+        .collect();
+    g.apply_batch(&batch).unwrap();
+    let report = accel.process_batch(&g, &batch);
+    let json = serde_json::to_string(&report).expect("serialize");
+    let back: AccelReport = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back.response_cycles, report.response_cycles);
+    assert_eq!(back.mem, report.mem);
+    assert_eq!(back.milestones, report.milestones);
+}
+
+#[test]
+fn config_roundtrips() {
+    let cfg = AcceleratorConfig::date2025().with_pipelines(2);
+    let json = serde_json::to_string(&cfg).expect("serialize");
+    let back: AcceleratorConfig = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, cfg);
+}
+
+#[test]
+fn edge_list_file_roundtrip() {
+    let (g, _) = build();
+    let edges: Vec<_> = g.iter_edges().collect();
+    let path = std::env::temp_dir().join("cisgraph_persistence_test_edges.txt");
+    {
+        let file = std::fs::File::create(&path).expect("create temp file");
+        cisgraph::graph::write_edge_list(std::io::BufWriter::new(file), &edges)
+            .expect("write edges");
+    }
+    let file = std::fs::File::open(&path).expect("open temp file");
+    let back = cisgraph::graph::read_edge_list(std::io::BufReader::new(file)).expect("read edges");
+    assert_eq!(back, edges);
+    let _ = std::fs::remove_file(&path);
+}

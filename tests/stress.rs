@@ -1,0 +1,74 @@
+//! Opt-in stress test (run with `cargo test --test stress -- --ignored`):
+//! a larger, longer streaming equivalence sweep across all five algorithms
+//! and all three stand-in datasets.
+
+use cisgraph::prelude::*;
+use cisgraph_datasets::queries::random_connected_pairs;
+
+fn stress_one<A: MonotonicAlgorithm>(dataset: &Dataset, seed: u64) {
+    let edges = dataset.generate(0.005, seed);
+    let mut stream = StreamConfig::paper_default()
+        .with_batch_size(1000, 1000)
+        .build(edges, seed + 1);
+    let mut g = DynamicGraph::new(stream.num_vertices());
+    for &(u, v, w) in stream.initial_edges() {
+        g.insert_edge(u, v, w).unwrap();
+    }
+    let query = random_connected_pairs(&g, 1, seed + 2)[0];
+    let mut ciso = CisGraphO::<A>::new(&g, query);
+    let mut accel = CisGraphAccel::<A>::new(&g, query, AcceleratorConfig::date2025());
+
+    for round in 0..5 {
+        let Some(batch) = stream.next_batch() else {
+            break;
+        };
+        g.apply_batch(&batch).unwrap();
+        let a = ciso.process_batch(&g, &batch).answer;
+        let b = accel.process_batch(&g, &batch).answer;
+        let fresh = solver::best_first::<A, _>(&g, query.source(), &mut Counters::new());
+        let expected = fresh.state(query.destination());
+        assert_eq!(
+            a,
+            expected,
+            "{} ciso {} round {round}",
+            A::NAME,
+            dataset.abbrev
+        );
+        assert_eq!(
+            b,
+            expected,
+            "{} accel {} round {round}",
+            A::NAME,
+            dataset.abbrev
+        );
+    }
+    // Final full-state fidelity.
+    let fresh = solver::best_first::<A, _>(&g, query.source(), &mut Counters::new());
+    for i in 0..g.num_vertices() {
+        let v = VertexId::from_index(i);
+        assert_eq!(
+            ciso.result().state(v),
+            fresh.state(v),
+            "{} ciso state v{i}",
+            A::NAME
+        );
+        assert_eq!(
+            accel.result().state(v),
+            fresh.state(v),
+            "{} accel state v{i}",
+            A::NAME
+        );
+    }
+}
+
+#[test]
+#[ignore = "stress sweep; run explicitly with --ignored"]
+fn stress_all_algorithms_all_datasets() {
+    for dataset in registry::all() {
+        stress_one::<Ppsp>(&dataset, 41);
+        stress_one::<Ppwp>(&dataset, 42);
+        stress_one::<Ppnp>(&dataset, 43);
+        stress_one::<Viterbi>(&dataset, 44);
+        stress_one::<Reach>(&dataset, 45);
+    }
+}
