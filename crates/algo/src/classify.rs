@@ -140,6 +140,16 @@ pub struct ClassificationSummary {
     pub useless_deletions: usize,
 }
 
+impl std::ops::AddAssign for ClassificationSummary {
+    fn add_assign(&mut self, rhs: Self) {
+        self.valuable_additions += rhs.valuable_additions;
+        self.useless_additions += rhs.useless_additions;
+        self.valuable_deletions += rhs.valuable_deletions;
+        self.delayed_deletions += rhs.delayed_deletions;
+        self.useless_deletions += rhs.useless_deletions;
+    }
+}
+
 impl ClassificationSummary {
     /// Total updates classified.
     pub fn total(&self) -> usize {

@@ -1,0 +1,199 @@
+//! Serving-layer benchmark — aggregate multi-query throughput as the
+//! standing-query count and the worker-thread count scale.
+//!
+//! For every (queries × threads) cell, a [`QueryServer`] converges the
+//! query registry on the initial snapshot and then serves the streamed
+//! batches, fanning the per-batch work across source-sharded worker
+//! threads. The sweep reports per-batch wall-clock, aggregate query
+//! throughput (queries served per second of wall-clock), the speedup over
+//! the single-thread run of the same workload, and the response-time tail
+//! across source groups — and asserts that every thread count produces
+//! byte-identical per-query answers.
+//!
+//! ```text
+//! cargo run --release -p cisgraph-bench --bin serve -- --queries 64 --threads 8
+//! cargo run --release -p cisgraph-bench --bin serve -- --sweep-queries 16,64,256
+//! ```
+//!
+//! `--threads N` sets the largest thread count of the sweep (1, 2, 4, …
+//! up to N); `--queries` / `--sweep-queries` set the standing-query
+//! registry sizes. The usual workload knobs (`--scale`, `--adds`,
+//! `--dels`, `--batches`, `--seed`) apply.
+
+use cisgraph_algo::Ppsp;
+use cisgraph_bench::args::Args;
+use cisgraph_bench::table::fmt_speedup;
+use cisgraph_bench::{artifacts, build_workload, RunConfig, Table};
+use cisgraph_datasets::registry;
+use cisgraph_engines::{QueryServer, ServeConfig};
+use serde::Serialize;
+use std::time::Duration;
+
+/// One sweep cell's measurements.
+#[derive(Debug, Clone, Serialize)]
+struct Cell {
+    queries: usize,
+    threads: usize,
+    shards: usize,
+    groups: usize,
+    batches: usize,
+    wall_seconds: f64,
+    throughput_qps: f64,
+    speedup_vs_one_thread: f64,
+    response_p50_us: f64,
+    response_p95_us: f64,
+    response_max_us: f64,
+}
+
+/// Thread counts to sweep: powers of two up to `max`, plus `max` itself.
+fn thread_sweep(max: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut t = 1;
+    while t < max {
+        out.push(t);
+        t *= 2;
+    }
+    out.push(max.max(1));
+    out.dedup();
+    out
+}
+
+/// Serves the whole batch stream with `threads` workers; returns the
+/// summed wall-clock, the per-group response times of the final batch,
+/// and the canonical JSON encoding of the final answers.
+fn serve(
+    bundle: &cisgraph_bench::WorkloadBundle,
+    threads: usize,
+) -> (Duration, usize, usize, Vec<Duration>, String) {
+    let mut server = QueryServer::<Ppsp>::new(
+        bundle.initial.clone(),
+        &bundle.queries,
+        &ServeConfig::with_threads(threads),
+    );
+    let mut wall = Duration::ZERO;
+    let mut shards = 0;
+    let mut groups = 0;
+    let mut tail = Vec::new();
+    for batch in &bundle.batches {
+        let report = server
+            .process_batch(batch)
+            .expect("workload batches are consistent");
+        wall += report.wall_time;
+        shards = report.shards;
+        groups = report.groups;
+        tail = vec![
+            report.response_p50,
+            report.response_p95,
+            report.response_max,
+        ];
+    }
+    let answers = serde_json::to_string(&server.answers()).expect("answers serialize");
+    (wall, shards, groups, tail, answers)
+}
+
+fn main() {
+    let args = Args::parse();
+    let max_threads = args.get_usize("threads").unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    });
+    let query_counts: Vec<usize> = match args.get_str("sweep-queries") {
+        Some(list) => list
+            .split(',')
+            .filter_map(|x| x.trim().parse().ok())
+            .collect(),
+        None => vec![args.get_usize("queries").unwrap_or(64)],
+    };
+
+    eprintln!(
+        "serve sweep: queries {query_counts:?} x threads {:?} (host parallelism {})",
+        thread_sweep(max_threads),
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    );
+
+    let mut table = Table::new(
+        [
+            "queries",
+            "threads",
+            "shards",
+            "wall ms",
+            "queries/s",
+            "speedup",
+            "p50 us",
+            "p95 us",
+            "max us",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    let mut cells: Vec<Cell> = Vec::new();
+
+    for &num_queries in &query_counts {
+        let cfg = RunConfig::builder(registry::orkut_like())
+            .queries(num_queries)
+            .build()
+            .with_args(&args);
+        let bundle = build_workload(&cfg);
+        let served = num_queries * bundle.batches.len();
+
+        let mut baseline_qps = 0.0;
+        let mut baseline_answers = String::new();
+        for &threads in &thread_sweep(max_threads) {
+            let (wall, shards, groups, tail, answers) = serve(&bundle, threads);
+            let qps = served as f64 / wall.as_secs_f64().max(1e-12);
+            if threads == 1 {
+                baseline_qps = qps;
+                baseline_answers = answers.clone();
+            }
+            // The serving layer's contract: sharding must never change an
+            // answer, bit for bit.
+            assert_eq!(
+                answers, baseline_answers,
+                "answers diverged between 1 and {threads} threads"
+            );
+            let speedup = qps / baseline_qps.max(1e-12);
+            table.row(vec![
+                num_queries.to_string(),
+                threads.to_string(),
+                shards.to_string(),
+                format!("{:.2}", wall.as_secs_f64() * 1e3),
+                format!("{qps:.0}"),
+                fmt_speedup(speedup),
+                format!("{:.1}", tail[0].as_secs_f64() * 1e6),
+                format!("{:.1}", tail[1].as_secs_f64() * 1e6),
+                format!("{:.1}", tail[2].as_secs_f64() * 1e6),
+            ]);
+            cells.push(Cell {
+                queries: num_queries,
+                threads,
+                shards,
+                groups,
+                batches: bundle.batches.len(),
+                wall_seconds: wall.as_secs_f64(),
+                throughput_qps: qps,
+                speedup_vs_one_thread: speedup,
+                response_p50_us: tail[0].as_secs_f64() * 1e6,
+                response_p95_us: tail[1].as_secs_f64() * 1e6,
+                response_max_us: tail[2].as_secs_f64() * 1e6,
+            });
+        }
+    }
+
+    println!("{}", table.render());
+    if let Some(best) = cells
+        .iter()
+        .filter(|c| c.threads == max_threads)
+        .map(|c| c.speedup_vs_one_thread)
+        .reduce(f64::max)
+    {
+        println!(
+            "aggregate throughput at {max_threads} threads: {} vs 1 thread \
+             (answers byte-identical across all thread counts)",
+            fmt_speedup(best)
+        );
+    }
+    if let Some(path) = artifacts::write_json("serve", &cells) {
+        eprintln!("wrote {}", path.display());
+    }
+}

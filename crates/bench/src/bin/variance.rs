@@ -14,51 +14,64 @@
 use cisgraph_algo::Ppsp;
 use cisgraph_bench::args::Args;
 use cisgraph_bench::table::fmt_speedup;
-use cisgraph_bench::{build_workload, RunConfig, Table};
+use cisgraph_bench::{build_workload, EngineSel, RunConfig, Table, WorkloadBundle};
 use cisgraph_datasets::registry;
-use cisgraph_engines::{CisGraphO, ColdStart, SGraph, SGraphConfig, StreamingEngine};
+use cisgraph_types::PairQuery;
+
+/// The explicit engine selection of this study: Cold-Start is the
+/// baseline, the other two are the contenders whose spread is compared.
+const BASELINE: EngineSel = EngineSel::Cs;
+const CONTENDERS: [EngineSel; 2] = [EngineSel::SGraph, EngineSel::Ciso];
+
+/// Streams every batch to `sel`'s engine for one query; returns the summed
+/// response time in seconds.
+fn response_seconds(
+    sel: EngineSel,
+    cfg: &RunConfig,
+    bundle: &WorkloadBundle,
+    query: PairQuery,
+) -> f64 {
+    let mut graph = bundle.initial.clone();
+    let mut engine = sel.build::<Ppsp>(&graph, query, cfg);
+    let mut total = 0.0;
+    for batch in &bundle.batches {
+        graph.apply_batch(batch).expect("consistent workload");
+        total += engine
+            .process_batch(&graph, batch)
+            .response_time
+            .as_secs_f64();
+    }
+    total
+}
 
 fn main() {
     let args = Args::parse();
-    let mut cfg = RunConfig::default_run(registry::orkut_like());
-    cfg.queries = 10;
-    let cfg = cfg.with_args(&args);
+    let cfg = RunConfig::builder(registry::orkut_like())
+        .queries(10)
+        .build()
+        .with_args(&args);
     eprintln!(
         "variance: {} scale {}, {}+{} x {} batches, {} queries (PPSP)",
         cfg.dataset.name, cfg.scale, cfg.additions, cfg.deletions, cfg.batches, cfg.queries
     );
     let bundle = build_workload(&cfg);
 
-    let mut table = Table::new(vec!["Query".into(), "SGraph".into(), "CISGraph-O".into()]);
-    let mut sgraph_speedups = Vec::new();
-    let mut ciso_speedups = Vec::new();
+    let mut table = Table::new(
+        std::iter::once("Query".to_string())
+            .chain(CONTENDERS.iter().map(|s| s.name().to_string()))
+            .collect(),
+    );
+    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); CONTENDERS.len()];
 
     for &query in &bundle.queries {
-        let mut graph = bundle.initial.clone();
-        let mut cs = ColdStart::<Ppsp>::new(query);
-        let mut sg = SGraph::<Ppsp>::new(&graph, query, SGraphConfig { num_hubs: cfg.hubs });
-        let mut ciso = CisGraphO::<Ppsp>::new(&graph, query);
-        let mut cs_t = 0.0;
-        let mut sg_t = 0.0;
-        let mut ciso_t = 0.0;
-        for batch in &bundle.batches {
-            graph.apply_batch(batch).expect("consistent workload");
-            cs_t += cs.process_batch(&graph, batch).response_time.as_secs_f64();
-            sg_t += sg.process_batch(&graph, batch).response_time.as_secs_f64();
-            ciso_t += ciso
-                .process_batch(&graph, batch)
-                .response_time
-                .as_secs_f64();
+        let baseline = response_seconds(BASELINE, &cfg, &bundle, query);
+        let mut row = vec![query.to_string()];
+        for (i, &sel) in CONTENDERS.iter().enumerate() {
+            let s = baseline / response_seconds(sel, &cfg, &bundle, query).max(1e-12);
+            speedups[i].push(s);
+            row.push(fmt_speedup(s));
         }
-        let s_sg = cs_t / sg_t.max(1e-12);
-        let s_ciso = cs_t / ciso_t.max(1e-12);
-        sgraph_speedups.push(s_sg);
-        ciso_speedups.push(s_ciso);
-        table.row(vec![
-            query.to_string(),
-            fmt_speedup(s_sg),
-            fmt_speedup(s_ciso),
-        ]);
+        table.row(row);
     }
 
     let spread = |xs: &[f64]| {
@@ -66,21 +79,25 @@ fn main() {
         let max = xs.iter().cloned().fold(0.0f64, f64::max);
         (min, max, max / min.max(1e-12))
     };
-    let (sg_min, sg_max, sg_ratio) = spread(&sgraph_speedups);
-    let (ci_min, ci_max, ci_ratio) = spread(&ciso_speedups);
-    table.row(vec![
-        "MIN..MAX".into(),
-        format!("{}..{}", fmt_speedup(sg_min), fmt_speedup(sg_max)),
-        format!("{}..{}", fmt_speedup(ci_min), fmt_speedup(ci_max)),
-    ]);
-    table.row(vec![
-        "SPREAD (max/min)".into(),
-        format!("{sg_ratio:.1}x"),
-        format!("{ci_ratio:.1}x"),
-    ]);
+    let spreads: Vec<_> = speedups.iter().map(|xs| spread(xs)).collect();
+    table.row(
+        std::iter::once("MIN..MAX".to_string())
+            .chain(
+                spreads
+                    .iter()
+                    .map(|(min, max, _)| format!("{}..{}", fmt_speedup(*min), fmt_speedup(*max))),
+            )
+            .collect(),
+    );
+    table.row(
+        std::iter::once("SPREAD (max/min)".to_string())
+            .chain(spreads.iter().map(|(_, _, ratio)| format!("{ratio:.1}x")))
+            .collect(),
+    );
 
     println!(
-        "\nPer-query speedup over CS ({}, PPSP) — the §II-B randomness observation\n",
+        "\nPer-query speedup over {} ({}, PPSP) — the §II-B randomness observation\n",
+        BASELINE.name(),
         cfg.dataset.name
     );
     println!("{}", table.render());

@@ -28,10 +28,22 @@ pub enum EngineSel {
 }
 
 impl EngineSel {
-    /// All engines of Table IV plus the PnP extra, in presentation order.
+    /// The four engines of the Table IV comparison, in presentation order.
+    /// PnP is *not* part of the paper's table; select [`EngineSel::ALL`]
+    /// to include it.
     pub const TABLE4: [EngineSel; 4] = [
         EngineSel::Cs,
         EngineSel::SGraph,
+        EngineSel::Ciso,
+        EngineSel::Accel,
+    ];
+
+    /// Every engine — the Table IV four plus the PnP extra baseline — in
+    /// presentation order.
+    pub const ALL: [EngineSel; 5] = [
+        EngineSel::Cs,
+        EngineSel::SGraph,
+        EngineSel::Pnp,
         EngineSel::Ciso,
         EngineSel::Accel,
     ];
@@ -46,6 +58,64 @@ impl EngineSel {
             Self::Accel => "CISGraph",
         }
     }
+
+    /// Builds the selected engine for one standing query as a boxed trait
+    /// object, so harnesses drive every engine through one code path
+    /// instead of match-dispatching per call site. The accelerator slots
+    /// in through its [`StreamingEngine`] impl (simulated durations at the
+    /// configured clock).
+    pub fn build<A: MonotonicAlgorithm>(
+        self,
+        graph: &DynamicGraph,
+        query: PairQuery,
+        cfg: &RunConfig,
+    ) -> Box<dyn StreamingEngine<A> + Send> {
+        match self {
+            Self::Cs => Box::new(ColdStart::new(query)),
+            Self::SGraph => Box::new(SGraph::new(
+                graph,
+                query,
+                SGraphConfig { num_hubs: cfg.hubs },
+            )),
+            Self::Pnp => Box::new(Pnp::new(query)),
+            Self::Ciso => Box::new(CisGraphO::new(graph, query)),
+            Self::Accel => Box::new(CisGraphAccel::new(graph, query, cfg.accel)),
+        }
+    }
+}
+
+/// Worker threads to default to: one per available hardware thread.
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `queries` on up to `threads` scoped worker threads
+/// (contiguous chunks, results in query order). With one thread — or one
+/// query — no threads are spawned.
+fn map_queries<R, F>(queries: &[PairQuery], threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(PairQuery) -> R + Sync,
+{
+    let threads = threads.max(1).min(queries.len().max(1));
+    if threads <= 1 {
+        return queries.iter().map(|&q| f(q)).collect();
+    }
+    let chunk = queries.len().div_ceil(threads);
+    let f = &f;
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = queries
+            .chunks(chunk)
+            .map(|qs| scope.spawn(move |_| qs.iter().map(|&q| f(q)).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("query worker thread panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope")
 }
 
 /// One experiment's configuration.
@@ -73,6 +143,15 @@ pub struct RunConfig {
     /// instead of synthesizing the stand-in. For users who have the real
     /// Orkut/LiveJournal/UK-2002 datasets.
     pub edges_file: Option<std::path::PathBuf>,
+    /// Stream the per-query runs of the software engines on parallel
+    /// worker threads (`--parallel`). Off by default: parallel wall-clock
+    /// timings are noisier on an oversubscribed host, and the sequential
+    /// path is the paper-faithful one.
+    pub parallel: bool,
+    /// Worker threads for the parallel paths — the `--parallel` query
+    /// fan-out and the always-parallel accelerator simulation
+    /// (`--threads`; defaults to the available hardware parallelism).
+    pub threads: usize,
 }
 
 impl RunConfig {
@@ -90,6 +169,8 @@ impl RunConfig {
             hubs: 16,
             accel: AcceleratorConfig::date2025(),
             edges_file: None,
+            parallel: false,
+            threads: default_threads(),
         }
     }
 
@@ -106,11 +187,37 @@ impl RunConfig {
             hubs: 8,
             accel: AcceleratorConfig::date2025(),
             edges_file: None,
+            parallel: false,
+            threads: default_threads(),
+        }
+    }
+
+    /// Step-wise construction starting from [`RunConfig::default_run`], so
+    /// binaries stop mutating configuration fields one by one.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cisgraph_bench::experiment::RunConfig;
+    /// use cisgraph_datasets::registry;
+    ///
+    /// let cfg = RunConfig::builder(registry::orkut_like())
+    ///     .scale(0.002)
+    ///     .batch_size(300, 300)
+    ///     .queries(10)
+    ///     .build();
+    /// assert_eq!(cfg.queries, 10);
+    /// assert_eq!(cfg.additions, 300);
+    /// ```
+    pub fn builder(dataset: Dataset) -> RunConfigBuilder {
+        RunConfigBuilder {
+            cfg: Self::default_run(dataset),
         }
     }
 
     /// Applies the shared CLI overrides (`--scale`, `--adds`, `--dels`,
-    /// `--batches`, `--queries`, `--seed`, `--full`).
+    /// `--batches`, `--queries`, `--seed`, `--threads`, `--parallel`,
+    /// `--full`).
     #[must_use]
     pub fn with_args(mut self, args: &Args) -> Self {
         if args.flag("full") {
@@ -140,7 +247,91 @@ impl RunConfig {
         if let Some(path) = args.get_str("edges") {
             self.edges_file = Some(std::path::PathBuf::from(path));
         }
+        if let Some(x) = args.get_usize("threads") {
+            self.threads = x.max(1);
+        }
+        if args.flag("parallel") {
+            self.parallel = true;
+        }
         self
+    }
+}
+
+/// Builder for [`RunConfig`]; obtain one with [`RunConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct RunConfigBuilder {
+    cfg: RunConfig,
+}
+
+impl RunConfigBuilder {
+    /// Dataset scale factor.
+    #[must_use]
+    pub fn scale(mut self, scale: f64) -> Self {
+        self.cfg.scale = scale;
+        self
+    }
+
+    /// Additions and deletions per batch.
+    #[must_use]
+    pub fn batch_size(mut self, additions: usize, deletions: usize) -> Self {
+        self.cfg.additions = additions;
+        self.cfg.deletions = deletions;
+        self
+    }
+
+    /// Batches streamed per query.
+    #[must_use]
+    pub fn batches(mut self, batches: usize) -> Self {
+        self.cfg.batches = batches;
+        self
+    }
+
+    /// Pairwise queries averaged over.
+    #[must_use]
+    pub fn queries(mut self, queries: usize) -> Self {
+        self.cfg.queries = queries;
+        self
+    }
+
+    /// Workload RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// SGraph hub count.
+    #[must_use]
+    pub fn hubs(mut self, hubs: usize) -> Self {
+        self.cfg.hubs = hubs;
+        self
+    }
+
+    /// Accelerator configuration.
+    #[must_use]
+    pub fn accel(mut self, accel: AcceleratorConfig) -> Self {
+        self.cfg.accel = accel;
+        self
+    }
+
+    /// Run software engines' per-query loops on parallel workers.
+    #[must_use]
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.cfg.parallel = parallel;
+        self
+    }
+
+    /// Worker threads for the parallel paths.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = threads.max(1);
+        self
+    }
+
+    /// Finishes construction.
+    #[must_use]
+    pub fn build(self) -> RunConfig {
+        self.cfg
     }
 }
 
@@ -260,8 +451,10 @@ pub fn run_engine<A: MonotonicAlgorithm>(
     let mut samples = 0usize;
 
     // The accelerator reports *simulated* time, which parallel execution
-    // cannot distort, so its queries run on worker threads. The software
-    // engines are wall-clock timed and stay sequential.
+    // cannot distort, so its queries always run on worker threads. The
+    // software engines are wall-clock timed and stay sequential unless
+    // `cfg.parallel` opts in; their per-query streaming runs are
+    // independent either way, so the aggregates are identical.
     if sel == EngineSel::Accel {
         let per_query = |query: PairQuery| {
             let mut graph = bundle.initial.clone();
@@ -277,18 +470,8 @@ pub fn run_engine<A: MonotonicAlgorithm>(
                 })
                 .collect::<Vec<_>>()
         };
-        let reports: Vec<Vec<cisgraph_core::AccelReport>> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = bundle
-                .queries
-                .iter()
-                .map(|&query| scope.spawn(move |_| per_query(query)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("accelerator thread panicked"))
-                .collect()
-        })
-        .expect("crossbeam scope");
+        let reports: Vec<Vec<cisgraph_core::AccelReport>> =
+            map_queries(&bundle.queries, cfg.threads, per_query);
         for (qi, per_query_reports) in reports.iter().enumerate() {
             for (bi, rep) in per_query_reports.iter().enumerate() {
                 if let Some(expected) = check {
@@ -332,98 +515,42 @@ pub fn run_engine<A: MonotonicAlgorithm>(
         };
     }
 
-    for (qi, &query) in bundle.queries.iter().enumerate() {
+    let per_query = |query: PairQuery| {
         let mut graph = bundle.initial.clone();
-        enum E<A: MonotonicAlgorithm> {
-            Cs(ColdStart<A>),
-            Sg(Box<SGraph<A>>),
-            Pnp(Pnp<A>),
-            Ciso(CisGraphO<A>),
-            Accel(Box<CisGraphAccel<A>>),
-        }
-        let mut engine: E<A> = match sel {
-            EngineSel::Cs => E::Cs(ColdStart::new(query)),
-            EngineSel::SGraph => E::Sg(Box::new(SGraph::new(
-                &graph,
-                query,
-                SGraphConfig { num_hubs: cfg.hubs },
-            ))),
-            EngineSel::Pnp => E::Pnp(Pnp::new(query)),
-            EngineSel::Ciso => E::Ciso(CisGraphO::new(&graph, query)),
-            EngineSel::Accel => E::Accel(Box::new(CisGraphAccel::new(&graph, query, cfg.accel))),
-        };
-        for (bi, batch) in bundle.batches.iter().enumerate() {
-            graph
-                .apply_batch(batch)
-                .expect("workload batches are consistent");
-            let (answer, r, t) = match &mut engine {
-                E::Cs(e) => {
-                    let rep = e.process_batch(&graph, batch);
-                    counters += rep.counters;
-                    (
-                        rep.answer,
-                        rep.response_time.as_secs_f64(),
-                        rep.total_time.as_secs_f64(),
-                    )
-                }
-                E::Sg(e) => {
-                    let rep = e.process_batch(&graph, batch);
-                    counters += rep.counters;
-                    (
-                        rep.answer,
-                        rep.response_time.as_secs_f64(),
-                        rep.total_time.as_secs_f64(),
-                    )
-                }
-                E::Pnp(e) => {
-                    let rep = e.process_batch(&graph, batch);
-                    counters += rep.counters;
-                    (
-                        rep.answer,
-                        rep.response_time.as_secs_f64(),
-                        rep.total_time.as_secs_f64(),
-                    )
-                }
-                E::Ciso(e) => {
-                    let rep = e.process_batch(&graph, batch);
-                    counters += rep.counters;
-                    add_acts += rep.addition_activations;
-                    del_acts += rep.deletion_activations;
-                    drain_acts += rep.drain_activations;
-                    if let Some(c) = &rep.classification {
-                        sum_classification(classification.get_or_insert_default(), c);
-                    }
-                    (
-                        rep.answer,
-                        rep.response_time.as_secs_f64(),
-                        rep.total_time.as_secs_f64(),
-                    )
-                }
-                E::Accel(e) => {
-                    let rep = e.process_batch(&graph, batch);
-                    counters += rep.counters;
-                    add_acts += rep.addition_activations;
-                    del_acts += rep.deletion_activations;
-                    drain_acts += rep.drain_activations;
-                    sum_classification(classification.get_or_insert_default(), &rep.classification);
-                    sum_mem(mem.get_or_insert_default(), &rep.mem);
-                    (
-                        rep.answer,
-                        rep.response_seconds(cfg.accel.clock_ghz),
-                        cfg.accel.cycles_to_seconds(rep.total_cycles),
-                    )
-                }
-            };
+        let mut engine = sel.build::<A>(&graph, query, cfg);
+        bundle
+            .batches
+            .iter()
+            .map(|batch| {
+                graph
+                    .apply_batch(batch)
+                    .expect("workload batches are consistent");
+                engine.process_batch(&graph, batch)
+            })
+            .collect::<Vec<_>>()
+    };
+    let threads = if cfg.parallel { cfg.threads } else { 1 };
+    let reports: Vec<Vec<cisgraph_engines::BatchReport>> =
+        map_queries(&bundle.queries, threads, per_query);
+    for (qi, per_query_reports) in reports.iter().enumerate() {
+        for (bi, rep) in per_query_reports.iter().enumerate() {
             if let Some(expected) = check {
                 assert_eq!(
-                    answer,
+                    rep.answer,
                     expected[qi][bi],
                     "{} diverged on query {qi} batch {bi}",
                     sel.name()
                 );
             }
-            response += r;
-            total += t;
+            counters += rep.counters;
+            add_acts += rep.addition_activations;
+            del_acts += rep.deletion_activations;
+            drain_acts += rep.drain_activations;
+            if let Some(c) = &rep.classification {
+                sum_classification(classification.get_or_insert_default(), c);
+            }
+            response += rep.response_time.as_secs_f64();
+            total += rep.total_time.as_secs_f64();
             samples += 1;
         }
     }
@@ -470,18 +597,7 @@ pub fn reference_answers<A: MonotonicAlgorithm>(
             })
             .collect::<Vec<_>>()
     };
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = bundle
-            .queries
-            .iter()
-            .map(|&query| scope.spawn(move |_| per_query(query)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("reference thread panicked"))
-            .collect()
-    })
-    .expect("crossbeam scope")
+    map_queries(&bundle.queries, default_threads(), per_query)
 }
 
 /// Results of all requested engines for one algorithm.
@@ -535,13 +651,13 @@ mod tests {
     use cisgraph_datasets::registry;
 
     fn tiny() -> RunConfig {
-        let mut cfg = RunConfig::quick(registry::orkut_like());
-        cfg.scale = 0.0005;
-        cfg.additions = 50;
-        cfg.deletions = 50;
-        cfg.queries = 2;
-        cfg.hubs = 4;
-        cfg
+        RunConfig::builder(registry::orkut_like())
+            .scale(0.0005)
+            .batch_size(50, 50)
+            .batches(1)
+            .queries(2)
+            .hubs(4)
+            .build()
     }
 
     #[test]
@@ -617,5 +733,78 @@ mod tests {
         assert_eq!(cfg.scale, 0.3);
         assert_eq!(cfg.additions, 7);
         assert_eq!(cfg.queries, 3);
+        assert!(!cfg.parallel);
+    }
+
+    #[test]
+    fn with_args_parallel_knobs() {
+        let args = crate::args::Args::parse_from(
+            ["--parallel", "--threads", "3"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        let cfg = RunConfig::quick(registry::orkut_like()).with_args(&args);
+        assert!(cfg.parallel);
+        assert_eq!(cfg.threads, 3);
+    }
+
+    #[test]
+    fn all_includes_pnp_table4_does_not() {
+        assert!(EngineSel::ALL.contains(&EngineSel::Pnp));
+        assert!(!EngineSel::TABLE4.contains(&EngineSel::Pnp));
+        assert_eq!(EngineSel::ALL.len(), EngineSel::TABLE4.len() + 1);
+    }
+
+    #[test]
+    fn build_constructs_every_engine() {
+        let cfg = tiny();
+        let bundle = build_workload(&cfg);
+        let query = bundle.queries[0];
+        for sel in EngineSel::ALL {
+            let engine = sel.build::<Ppsp>(&bundle.initial, query, &cfg);
+            assert_eq!(engine.name(), sel.name());
+        }
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential() {
+        let cfg = tiny();
+        let bundle = build_workload(&cfg);
+        let sequential = run_engine::<Ppsp>(&cfg, &bundle, EngineSel::Ciso, None);
+        let parallel_cfg = RunConfig {
+            parallel: true,
+            threads: 4,
+            ..cfg
+        };
+        let parallel = run_engine::<Ppsp>(&parallel_cfg, &bundle, EngineSel::Ciso, None);
+        assert_eq!(sequential.counters, parallel.counters);
+        assert_eq!(sequential.classification, parallel.classification);
+        assert_eq!(sequential.samples, parallel.samples);
+        assert_eq!(
+            sequential.addition_activations,
+            parallel.addition_activations
+        );
+    }
+
+    #[test]
+    fn builder_round_trips() {
+        let cfg = RunConfig::builder(registry::orkut_like())
+            .scale(0.5)
+            .batch_size(11, 13)
+            .batches(3)
+            .queries(7)
+            .seed(99)
+            .hubs(5)
+            .parallel(true)
+            .threads(2)
+            .build();
+        assert_eq!(cfg.scale, 0.5);
+        assert_eq!((cfg.additions, cfg.deletions), (11, 13));
+        assert_eq!(cfg.batches, 3);
+        assert_eq!(cfg.queries, 7);
+        assert_eq!(cfg.seed, 99);
+        assert_eq!(cfg.hubs, 5);
+        assert!(cfg.parallel);
+        assert_eq!(cfg.threads, 2);
     }
 }

@@ -21,6 +21,6 @@ pub mod table;
 
 pub use experiment::{
     build_workload, run_engine, run_engines, AlgoResults, EngineResult, EngineSel, RunConfig,
-    WorkloadBundle,
+    RunConfigBuilder, WorkloadBundle,
 };
 pub use table::Table;

@@ -315,15 +315,8 @@ impl<A: MonotonicAlgorithm> cisgraph_engines::StreamingEngine<A> for CisGraphAcc
         batch: &[EdgeUpdate],
     ) -> cisgraph_engines::BatchReport {
         let report = CisGraphAccel::process_batch(self, graph, batch);
-        let clock = self.config.clock_ghz;
-        let mut out = cisgraph_engines::BatchReport::new(report.answer);
-        out.response_time = report.response_duration(clock);
-        out.total_time =
-            std::time::Duration::from_secs_f64(self.config.cycles_to_seconds(report.total_cycles));
-        out.counters = report.counters;
-        out.addition_activations = report.addition_activations;
-        out.deletion_activations = report.deletion_activations;
-        out.drain_activations = report.drain_activations;
+        let mut out =
+            cisgraph_engines::BatchReport::from_core(report.to_core(self.config.clock_ghz));
         out.classification = Some(report.classification);
         out
     }

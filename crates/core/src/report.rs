@@ -122,6 +122,34 @@ impl AccelReport {
         let drain = self.total_cycles.saturating_sub(self.response_cycles);
         self.response_cycles + drain.saturating_sub(gather_cycles)
     }
+
+    /// Projects this report onto the engine-agnostic
+    /// [`ReportCore`](cisgraph_engines::ReportCore) at the given clock:
+    /// cycle counts become simulated durations, so the serving layer
+    /// aggregates accelerator runs exactly like software-engine runs.
+    /// Memory statistics and cycle milestones stay accelerator-specific
+    /// and are not projected.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let mut r = cisgraph_core::AccelReport::new(cisgraph_types::State::ZERO);
+    /// r.response_cycles = 2_000_000_000;
+    /// r.total_cycles = 3_000_000_000;
+    /// let core = r.to_core(1.0); // 1 GHz
+    /// assert_eq!(core.response_time.as_secs(), 2);
+    /// assert_eq!(core.total_time.as_secs(), 3);
+    /// ```
+    pub fn to_core(&self, clock_ghz: f64) -> cisgraph_engines::ReportCore {
+        let mut core = cisgraph_engines::ReportCore::new(self.answer);
+        core.response_time = self.response_duration(clock_ghz);
+        core.total_time = Duration::from_secs_f64(self.total_cycles as f64 / (clock_ghz * 1e9));
+        core.counters = self.counters;
+        core.addition_activations = self.addition_activations;
+        core.deletion_activations = self.deletion_activations;
+        core.drain_activations = self.drain_activations;
+        core
+    }
 }
 
 #[cfg(test)]

@@ -1,31 +1,40 @@
-//! The engine abstraction and per-batch report.
+//! The engine abstraction, per-batch reports, and type erasure.
 
 use cisgraph_algo::classify::ClassificationSummary;
-use cisgraph_algo::Counters;
+use cisgraph_algo::{Counters, MonotonicAlgorithm};
 use cisgraph_graph::DynamicGraph;
-use cisgraph_types::State;
+use cisgraph_types::{EdgeUpdate, State};
 use serde::{Deserialize, Serialize};
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
 use std::time::Duration;
 
-/// What one engine did for one batch.
+/// The metric core every per-batch report shares.
 ///
-/// `response_time` is the paper's headline metric: the wall-clock time until
-/// the engine can answer the pairwise query for the new snapshot. For
-/// engines without early response it equals `total_time`; for CISGraph-O it
-/// excludes the delayed-deletion tail.
+/// Both the software engines' [`BatchReport`] and the simulated
+/// accelerator's report (`AccelReport` in `cisgraph-core`, via
+/// `to_core`) reduce to this struct, so the serving layer can aggregate
+/// software and accelerator runs identically.
+///
+/// `response_time` is the paper's headline metric: the time until the
+/// engine can answer the pairwise query for the new snapshot. For engines
+/// without early response it equals `total_time`; for CISGraph-O and the
+/// accelerator it excludes the delayed-deletion tail.
 ///
 /// # Examples
 ///
 /// ```
-/// use cisgraph_engines::BatchReport;
+/// use cisgraph_engines::ReportCore;
 /// use cisgraph_types::State;
 ///
-/// let r = BatchReport::new(State::new(3.0).unwrap());
-/// assert_eq!(r.answer.get(), 3.0);
-/// assert_eq!(r.total_time, std::time::Duration::ZERO);
+/// let mut total = ReportCore::new(State::ZERO);
+/// let mut shard = ReportCore::new(State::ONE);
+/// shard.counters.computations = 7;
+/// total.accumulate(&shard);
+/// assert_eq!(total.counters.computations, 7);
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct BatchReport {
+pub struct ReportCore {
     /// The converged query answer for the new snapshot.
     pub answer: State,
     /// Time until the answer was available.
@@ -41,12 +50,10 @@ pub struct BatchReport {
     pub deletion_activations: u64,
     /// Activations of the post-response delayed-deletion drain.
     pub drain_activations: u64,
-    /// Algorithm 1 outcome, when the engine classifies (CISGraph-O only).
-    pub classification: Option<ClassificationSummary>,
 }
 
-impl BatchReport {
-    /// A zeroed report carrying only an answer.
+impl ReportCore {
+    /// A zeroed core carrying only an answer.
     pub fn new(answer: State) -> Self {
         Self {
             answer,
@@ -56,8 +63,72 @@ impl BatchReport {
             addition_activations: 0,
             deletion_activations: 0,
             drain_activations: 0,
+        }
+    }
+
+    /// Folds another core's work into this one: counters, activations, and
+    /// times are summed (times as *sequential-equivalent* work — a parallel
+    /// harness measures wall-clock separately); the answer is kept.
+    pub fn accumulate(&mut self, other: &ReportCore) {
+        self.response_time += other.response_time;
+        self.total_time += other.total_time;
+        self.counters += other.counters;
+        self.addition_activations += other.addition_activations;
+        self.deletion_activations += other.deletion_activations;
+        self.drain_activations += other.drain_activations;
+    }
+}
+
+/// What one engine did for one batch: the shared [`ReportCore`] metrics
+/// plus the software-side classification outcome.
+///
+/// Dereferences to [`ReportCore`], so the metric fields read as before the
+/// split (`report.answer`, `report.response_time`, …).
+///
+/// # Examples
+///
+/// ```
+/// use cisgraph_engines::BatchReport;
+/// use cisgraph_types::State;
+///
+/// let r = BatchReport::new(State::new(3.0).unwrap());
+/// assert_eq!(r.answer.get(), 3.0);
+/// assert_eq!(r.total_time, std::time::Duration::ZERO);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchReport {
+    /// The engine-agnostic metric core.
+    pub core: ReportCore,
+    /// Algorithm 1 outcome, when the engine classifies (CISGraph-O only).
+    pub classification: Option<ClassificationSummary>,
+}
+
+impl BatchReport {
+    /// A zeroed report carrying only an answer.
+    pub fn new(answer: State) -> Self {
+        Self::from_core(ReportCore::new(answer))
+    }
+
+    /// Wraps a metric core without classification data.
+    pub fn from_core(core: ReportCore) -> Self {
+        Self {
+            core,
             classification: None,
         }
+    }
+}
+
+impl Deref for BatchReport {
+    type Target = ReportCore;
+
+    fn deref(&self) -> &ReportCore {
+        &self.core
+    }
+}
+
+impl DerefMut for BatchReport {
+    fn deref_mut(&mut self) -> &mut ReportCore {
+        &mut self.core
     }
 }
 
@@ -69,24 +140,120 @@ impl BatchReport {
 /// post-batch topology (matching the accelerator workflow in §III-B, which
 /// updates the snapshot before identification). The same batch slice is
 /// passed so incremental engines know what changed.
-pub trait StreamingEngine<A: cisgraph_algo::MonotonicAlgorithm> {
+pub trait StreamingEngine<A: MonotonicAlgorithm> {
     /// Engine name as it appears in the paper's tables.
     fn name(&self) -> &'static str;
 
     /// Processes one batch against the already-updated `graph`.
-    fn process_batch(
-        &mut self,
-        graph: &DynamicGraph,
-        batch: &[cisgraph_types::EdgeUpdate],
-    ) -> BatchReport;
+    fn process_batch(&mut self, graph: &DynamicGraph, batch: &[EdgeUpdate]) -> BatchReport;
 
     /// The engine's current answer for its standing query.
     fn answer(&self) -> State;
 }
 
+impl<A: MonotonicAlgorithm, E: StreamingEngine<A> + ?Sized> StreamingEngine<A> for Box<E> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn process_batch(&mut self, graph: &DynamicGraph, batch: &[EdgeUpdate]) -> BatchReport {
+        (**self).process_batch(graph, batch)
+    }
+
+    fn answer(&self) -> State {
+        (**self).answer()
+    }
+}
+
+/// An algorithm-erased streaming engine.
+///
+/// [`StreamingEngine`] is object-safe *per algorithm* — a
+/// `Vec<Box<dyn StreamingEngine<Ppsp>>>` works — but engines over different
+/// algorithms cannot share a collection because the algorithm is a type
+/// parameter of the trait itself. `DynEngine` erases it: harnesses that only
+/// feed batches and read answers (the serving layer, the experiment runner)
+/// can hold `Vec<Box<dyn DynEngine>>` mixing any engine over any algorithm.
+///
+/// Obtain one with [`into_dyn`]; the bound is `Send` so boxed engines can
+/// move to worker threads.
+///
+/// # Examples
+///
+/// ```
+/// use cisgraph_engines::{into_dyn, ColdStart, DynEngine, Pnp};
+/// use cisgraph_algo::{Ppsp, Reach};
+/// use cisgraph_types::{PairQuery, VertexId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let q = PairQuery::new(VertexId::new(0), VertexId::new(1))?;
+/// let engines: Vec<Box<dyn DynEngine>> = vec![
+///     into_dyn(ColdStart::<Ppsp>::new(q)),
+///     into_dyn(ColdStart::<Reach>::new(q)),
+///     into_dyn(Pnp::<Ppsp>::new(q)),
+/// ];
+/// assert_eq!(engines.len(), 3);
+/// assert_eq!(engines[0].name(), "CS");
+/// # Ok(())
+/// # }
+/// ```
+pub trait DynEngine: Send {
+    /// Engine name as it appears in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Processes one batch against the already-updated `graph` (same
+    /// contract as [`StreamingEngine::process_batch`]).
+    fn process_batch(&mut self, graph: &DynamicGraph, batch: &[EdgeUpdate]) -> BatchReport;
+
+    /// The engine's current answer for its standing query.
+    fn answer(&self) -> State;
+}
+
+/// The erasure shim: remembers the algorithm in a [`PhantomData`] so one
+/// wrapper type serves every `(algorithm, engine)` pair. A blanket
+/// `impl<E: StreamingEngine<A>> DynEngine for E` is impossible (`A` would
+/// be unconstrained), hence the wrapper.
+struct Erased<A, E> {
+    engine: E,
+    _algorithm: PhantomData<A>,
+}
+
+impl<A, E> DynEngine for Erased<A, E>
+where
+    A: MonotonicAlgorithm,
+    E: StreamingEngine<A> + Send,
+{
+    fn name(&self) -> &'static str {
+        self.engine.name()
+    }
+
+    fn process_batch(&mut self, graph: &DynamicGraph, batch: &[EdgeUpdate]) -> BatchReport {
+        self.engine.process_batch(graph, batch)
+    }
+
+    fn answer(&self) -> State {
+        self.engine.answer()
+    }
+}
+
+/// Boxes a concrete engine behind the algorithm-erased [`DynEngine`]
+/// interface.
+pub fn into_dyn<A, E>(engine: E) -> Box<dyn DynEngine>
+where
+    A: MonotonicAlgorithm,
+    E: StreamingEngine<A> + Send + 'static,
+{
+    Box::new(Erased {
+        engine,
+        _algorithm: PhantomData::<A>,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ColdStart;
+    use cisgraph_algo::{Ppsp, Reach};
+    use cisgraph_types::{PairQuery, VertexId, Weight};
 
     #[test]
     fn report_new_is_zeroed() {
@@ -101,5 +268,52 @@ mod tests {
         let r = BatchReport::new(State::new(1.5).unwrap());
         let json = serde_json::to_string(&r).unwrap();
         assert!(json.contains("answer"));
+    }
+
+    #[test]
+    fn core_accumulates_work() {
+        let mut total = ReportCore::new(State::ZERO);
+        let mut part = ReportCore::new(State::ONE);
+        part.counters.computations = 3;
+        part.addition_activations = 2;
+        part.response_time = Duration::from_millis(5);
+        total.accumulate(&part);
+        total.accumulate(&part);
+        assert_eq!(total.counters.computations, 6);
+        assert_eq!(total.addition_activations, 4);
+        assert_eq!(total.response_time, Duration::from_millis(10));
+        assert_eq!(total.answer, State::ZERO);
+    }
+
+    #[test]
+    fn dyn_engines_mix_algorithms() {
+        let mut g = DynamicGraph::new(3);
+        g.insert_edge(
+            VertexId::new(0),
+            VertexId::new(1),
+            Weight::new(2.0).unwrap(),
+        )
+        .unwrap();
+        let q = PairQuery::new(VertexId::new(0), VertexId::new(1)).unwrap();
+        let mut engines: Vec<Box<dyn DynEngine>> = vec![
+            into_dyn(ColdStart::<Ppsp>::new(q)),
+            into_dyn(ColdStart::<Reach>::new(q)),
+        ];
+        let reports: Vec<BatchReport> = engines
+            .iter_mut()
+            .map(|e| e.process_batch(&g, &[]))
+            .collect();
+        assert_eq!(reports[0].answer.get(), 2.0);
+        assert_eq!(reports[1].answer, State::ONE);
+    }
+
+    #[test]
+    fn boxed_engine_is_still_an_engine() {
+        fn run<A: MonotonicAlgorithm, E: StreamingEngine<A>>(engine: &mut E) -> &'static str {
+            engine.name()
+        }
+        let q = PairQuery::new(VertexId::new(0), VertexId::new(1)).unwrap();
+        let mut boxed: Box<dyn StreamingEngine<Ppsp>> = Box::new(ColdStart::<Ppsp>::new(q));
+        assert_eq!(run(&mut boxed), "CS");
     }
 }

@@ -50,12 +50,14 @@ mod cold_start;
 mod engine;
 mod multi;
 mod pnp;
+mod serve;
 mod sgraph;
 
 pub use ciso::CisGraphO;
 pub use coalescing::Coalescing;
 pub use cold_start::ColdStart;
-pub use engine::{BatchReport, StreamingEngine};
+pub use engine::{into_dyn, BatchReport, DynEngine, ReportCore, StreamingEngine};
 pub use multi::MultiQuery;
 pub use pnp::Pnp;
+pub use serve::{QueryServer, ServeConfig, ServeReport};
 pub use sgraph::{SGraph, SGraphConfig};

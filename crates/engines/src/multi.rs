@@ -149,101 +149,170 @@ impl<A: MonotonicAlgorithm> MultiQuery<A> {
         Some(self.groups[gi].result.state(query.destination()))
     }
 
-    /// Processes one batch for every source group; the report aggregates
-    /// across groups (counters summed, times end-to-end).
-    pub fn process_batch(&mut self, graph: &DynamicGraph, batch: &[EdgeUpdate]) -> BatchReport {
+    /// Number of standing queries across all groups.
+    pub fn num_queries(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Processes one batch for a single source group, timed in isolation:
+    /// `response_time` covers classification, valuable propagation, and the
+    /// promotion loop; `total_time` additionally covers the delayed drain.
+    fn process_group(
+        group: &mut SourceGroup<A>,
+        graph: &DynamicGraph,
+        batch: &[EdgeUpdate],
+        pending: &incremental::PendingDeletions,
+    ) -> BatchReport {
         let start = Instant::now();
         let mut counters = Counters::new();
         let mut summary = ClassificationSummary::default();
-        let pending = incremental::PendingDeletions::from_batch(batch.iter().copied());
+        group.result.grow(graph.num_vertices());
 
-        let mut response_total = std::time::Duration::ZERO;
-        for group in &mut self.groups {
-            group.result.grow(graph.num_vertices());
-
-            // Additions (shared across all destinations of the group).
-            let mut valuable = Vec::new();
-            for update in batch.iter().filter(|u| u.kind().is_insert()) {
-                counters.computations += 1;
-                match classify_addition(&group.result, *update) {
-                    Contribution::Valuable => {
-                        summary.valuable_additions += 1;
-                        valuable.push(*update);
-                    }
-                    _ => {
-                        summary.useless_additions += 1;
-                        counters.updates_dropped += 1;
-                    }
+        // Additions (shared across all destinations of the group).
+        let mut valuable = Vec::new();
+        for update in batch.iter().filter(|u| u.kind().is_insert()) {
+            counters.computations += 1;
+            match classify_addition(&group.result, *update) {
+                Contribution::Valuable => {
+                    summary.valuable_additions += 1;
+                    valuable.push(*update);
                 }
-            }
-            incremental::apply_additions(graph, &mut group.result, &valuable, &mut counters);
-
-            // Deletions with the key-path union split + promotion loop.
-            let mut union = KeyPathUnion::extract(&group.result, group.source, &group.destinations);
-            let mut non_delayed = Vec::new();
-            let mut delayed = Vec::new();
-            for update in batch.iter().filter(|u| u.kind().is_delete()) {
-                counters.computations += 1;
-                let (u, v) = (update.src(), update.dst());
-                if v == group.source || group.result.parent(v) != Some(u) {
-                    summary.useless_deletions += 1;
+                _ => {
+                    summary.useless_additions += 1;
                     counters.updates_dropped += 1;
-                } else if union.contains(u) {
-                    summary.valuable_deletions += 1;
-                    non_delayed.push(*update);
-                } else {
-                    summary.delayed_deletions += 1;
-                    delayed.push(*update);
                 }
             }
-            while !non_delayed.is_empty() {
-                for del in non_delayed.drain(..) {
-                    incremental::apply_deletion_with(
-                        graph,
-                        &mut group.result,
-                        del,
-                        &pending,
-                        &mut counters,
-                    );
-                }
-                union = KeyPathUnion::extract(&group.result, group.source, &group.destinations);
-                let mut rest = Vec::with_capacity(delayed.len());
-                for del in delayed.drain(..) {
-                    let (u, v) = (del.src(), del.dst());
-                    if group.result.parent(v) == Some(u) && union.contains(u) {
-                        non_delayed.push(del);
-                    } else {
-                        rest.push(del);
-                    }
-                }
-                delayed = rest;
-            }
-            response_total = start.elapsed();
+        }
+        incremental::apply_additions(graph, &mut group.result, &valuable, &mut counters);
 
-            for del in delayed {
+        // Deletions with the key-path union split + promotion loop.
+        let mut union = KeyPathUnion::extract(&group.result, group.source, &group.destinations);
+        let mut non_delayed = Vec::new();
+        let mut delayed = Vec::new();
+        for update in batch.iter().filter(|u| u.kind().is_delete()) {
+            counters.computations += 1;
+            let (u, v) = (update.src(), update.dst());
+            if v == group.source || group.result.parent(v) != Some(u) {
+                summary.useless_deletions += 1;
+                counters.updates_dropped += 1;
+            } else if union.contains(u) {
+                summary.valuable_deletions += 1;
+                non_delayed.push(*update);
+            } else {
+                summary.delayed_deletions += 1;
+                delayed.push(*update);
+            }
+        }
+        while !non_delayed.is_empty() {
+            for del in non_delayed.drain(..) {
                 incremental::apply_deletion_with(
                     graph,
                     &mut group.result,
                     del,
-                    &pending,
+                    pending,
                     &mut counters,
                 );
             }
+            union = KeyPathUnion::extract(&group.result, group.source, &group.destinations);
+            let mut rest = Vec::with_capacity(delayed.len());
+            for del in delayed.drain(..) {
+                let (u, v) = (del.src(), del.dst());
+                if group.result.parent(v) == Some(u) && union.contains(u) {
+                    non_delayed.push(del);
+                } else {
+                    rest.push(del);
+                }
+            }
+            delayed = rest;
+        }
+        let response = start.elapsed();
+
+        for del in delayed {
+            incremental::apply_deletion_with(graph, &mut group.result, del, pending, &mut counters);
         }
 
-        // The report's answer slot carries the first registered query's
-        // answer; use `answers()` for the full set.
+        // The per-group answer slot carries the smallest destination's state
+        // (deterministic); the full set is reachable through `answers()`.
+        let answer = group
+            .destinations
+            .iter()
+            .min()
+            .map(|&d| group.result.state(d))
+            .unwrap_or_else(A::unreached);
+        let mut report = BatchReport::new(answer);
+        report.response_time = response;
+        report.total_time = start.elapsed();
+        report.counters = counters;
+        report.classification = Some(summary);
+        report
+    }
+
+    /// Processes one batch, returning one [`BatchReport`] per source group
+    /// in source order. This is the serving layer's unit of work: each
+    /// group's times are measured in isolation, so a parallel harness can
+    /// build a response-time distribution across groups.
+    pub fn process_batch_per_group(
+        &mut self,
+        graph: &DynamicGraph,
+        batch: &[EdgeUpdate],
+    ) -> Vec<BatchReport> {
+        let pending = incremental::PendingDeletions::from_batch(batch.iter().copied());
+        self.groups
+            .iter_mut()
+            .map(|group| Self::process_group(group, graph, batch, &pending))
+            .collect()
+    }
+
+    /// Processes one batch for every source group; the report aggregates
+    /// across groups (counters, times, and classification summed; the
+    /// answer slot carries the first registered query's answer — use
+    /// [`MultiQuery::answers`] for the full set).
+    pub fn process_batch(&mut self, graph: &DynamicGraph, batch: &[EdgeUpdate]) -> BatchReport {
+        let per_group = self.process_batch_per_group(graph, batch);
         let answer = self
             .answers()
             .first()
             .map(|&(_, s)| s)
             .unwrap_or_else(A::unreached);
         let mut report = BatchReport::new(answer);
-        report.response_time = response_total;
-        report.total_time = start.elapsed();
-        report.counters = counters;
+        let mut summary = ClassificationSummary::default();
+        for group_report in &per_group {
+            report.core.accumulate(&group_report.core);
+            if let Some(s) = group_report.classification {
+                summary += s;
+            }
+        }
         report.classification = Some(summary);
         report
+    }
+
+    /// Splits this instance into at most `n` independent shards,
+    /// distributing source groups round-robin in ascending source order
+    /// (deterministic for a given query set). Converged per-group state
+    /// moves into the shards — nothing is recomputed — so
+    /// `shards.iter().flat_map(answers)` equals the original `answers()`
+    /// up to ordering. Returns fewer shards than requested when there are
+    /// fewer groups than `n`; at least one (possibly empty) shard is
+    /// always returned.
+    pub fn into_shards(self, n: usize) -> Vec<MultiQuery<A>> {
+        let n = n.max(1).min(self.groups.len().max(1));
+        let mut shards: Vec<MultiQuery<A>> = (0..n)
+            .map(|_| MultiQuery {
+                groups: Vec::new(),
+                index: HashMap::new(),
+            })
+            .collect();
+        for (i, group) in self.groups.into_iter().enumerate() {
+            let shard = &mut shards[i % n];
+            let gi = shard.groups.len();
+            for &d in &group.destinations {
+                if let Ok(q) = PairQuery::new(group.source, d) {
+                    shard.index.insert(q, gi);
+                }
+            }
+            shard.groups.push(group);
+        }
+        shards
     }
 }
 
@@ -306,6 +375,50 @@ mod tests {
                 assert_eq!(mq.answer(q).unwrap(), expected, "query {q}");
             }
         }
+    }
+
+    #[test]
+    fn per_group_reports_sum_to_aggregate() {
+        let mut g = DynamicGraph::new(5);
+        g.insert_edge(v(0), v(1), w(1.0)).unwrap();
+        g.insert_edge(v(2), v(3), w(1.0)).unwrap();
+        let queries = vec![
+            PairQuery::new(v(0), v(1)).unwrap(),
+            PairQuery::new(v(2), v(3)).unwrap(),
+        ];
+        let mut a = MultiQuery::<Ppsp>::new(&g, &queries);
+        let mut b = a.clone();
+        let batch = vec![EdgeUpdate::insert(v(0), v(3), w(0.5))];
+        g.apply_batch(&batch).unwrap();
+        let per_group = a.process_batch_per_group(&g, &batch);
+        let aggregate = b.process_batch(&g, &batch);
+        assert_eq!(per_group.len(), 2);
+        let summed: u64 = per_group.iter().map(|r| r.counters.computations).sum();
+        assert_eq!(summed, aggregate.counters.computations);
+        assert_eq!(a.answers(), b.answers());
+    }
+
+    #[test]
+    fn shards_partition_groups_and_preserve_answers() {
+        let mut g = DynamicGraph::new(8);
+        for i in 0..7 {
+            g.insert_edge(v(i), v(i + 1), w(1.0)).unwrap();
+        }
+        let queries: Vec<PairQuery> = (0..7)
+            .map(|i| PairQuery::new(v(i), v(7)).unwrap())
+            .collect();
+        let whole = MultiQuery::<Ppsp>::new(&g, &queries);
+        let expected = whole.answers();
+        let shards = whole.clone().into_shards(3);
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards.iter().map(MultiQuery::num_groups).sum::<usize>(), 7);
+        let mut merged: Vec<_> = shards.iter().flat_map(MultiQuery::answers).collect();
+        merged.sort_by_key(|(q, _)| (q.source(), q.destination()));
+        assert_eq!(merged, expected);
+
+        // Asking for more shards than groups clamps; zero means one.
+        assert_eq!(whole.clone().into_shards(99).len(), 7);
+        assert_eq!(whole.clone().into_shards(0).len(), 1);
     }
 
     #[test]

@@ -1,0 +1,477 @@
+//! Parallel multi-query serving.
+//!
+//! The paper scopes itself to single queries; [`MultiQuery`] generalizes to
+//! a standing query *set*. This module adds the serving layer on top: a
+//! [`QueryServer`] owns the shared graph, shards the registered queries by
+//! source vertex (reusing [`MultiQuery`]'s source grouping, so same-source
+//! queries share one converged state array), and fans each update batch out
+//! across a scoped thread pool — one worker per shard, every worker reading
+//! the same immutable post-batch topology through a
+//! [`SharedGraph`] handle.
+//!
+//! Sharding rule: distinct sources are sorted ascending and dealt
+//! round-robin across shards. The assignment depends only on the query set
+//! and the shard count, and each group's incremental state is touched by
+//! exactly one thread — so answers are bit-identical for *any* thread
+//! count, which the tests pin down.
+//!
+//! Per-shard, per-group [`BatchReport`]s are merged into one
+//! [`ServeReport`]: summed ⊕/⊗ work and classification, a response-time
+//! distribution (p50 / p95 / max across source groups), the batch
+//! wall-clock, and every standing query's answer.
+
+use crate::{BatchReport, MultiQuery, ReportCore};
+use cisgraph_algo::classify::ClassificationSummary;
+use cisgraph_algo::MonotonicAlgorithm;
+use cisgraph_graph::{DynamicGraph, GraphError, SharedGraph};
+use cisgraph_types::{EdgeUpdate, PairQuery, State, VertexId};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Tuning for a [`QueryServer`].
+///
+/// # Examples
+///
+/// ```
+/// use cisgraph_engines::ServeConfig;
+///
+/// assert_eq!(ServeConfig::with_threads(4).threads, 4);
+/// assert!(ServeConfig::default().threads >= 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads the per-batch work fans out over (also the maximum
+    /// shard count; the server never creates more shards than distinct
+    /// query sources).
+    pub threads: usize,
+}
+
+impl ServeConfig {
+    /// A config with an explicit thread count (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+}
+
+impl Default for ServeConfig {
+    /// One worker per available hardware thread.
+    fn default() -> Self {
+        Self::with_threads(
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+}
+
+/// Aggregate outcome of serving one batch to every standing query.
+///
+/// `wall_time` is the parallel wall-clock of the fan-out; the times inside
+/// [`work`](ServeReport::work) are summed across groups and therefore
+/// measure *sequential-equivalent* work — their ratio is the observed
+/// speedup.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeReport {
+    /// Standing queries served.
+    pub queries: usize,
+    /// Shards (worker threads actually used) for this batch.
+    pub shards: usize,
+    /// Source groups across all shards.
+    pub groups: usize,
+    /// Wall-clock time of the parallel fan-out.
+    pub wall_time: Duration,
+    /// Median per-group response time.
+    pub response_p50: Duration,
+    /// 95th-percentile per-group response time.
+    pub response_p95: Duration,
+    /// Worst per-group response time.
+    pub response_max: Duration,
+    /// Summed work across every group: ⊕/⊗ counters, activations, and
+    /// sequential-equivalent times. The answer slot carries the first
+    /// standing query's answer.
+    pub work: ReportCore,
+    /// Summed Algorithm 1 classification outcome across groups.
+    pub classification: ClassificationSummary,
+    /// Every standing query's post-batch answer, sorted by
+    /// (source, destination).
+    pub answers: Vec<(PairQuery, State)>,
+}
+
+impl ServeReport {
+    /// Queries served per second of wall-clock for this batch.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.wall_time.as_secs_f64();
+        if secs > 0.0 {
+            self.queries as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Speedup of the parallel fan-out over sequential-equivalent work
+    /// (summed per-group total time ÷ wall-clock).
+    pub fn parallel_speedup(&self) -> f64 {
+        let wall = self.wall_time.as_secs_f64();
+        if wall > 0.0 {
+            self.work.total_time.as_secs_f64() / wall
+        } else {
+            1.0
+        }
+    }
+}
+
+/// A server answering a registry of standing pairwise queries over one
+/// update stream, fanning per-batch work across threads.
+///
+/// The server owns the graph: [`QueryServer::process_batch`] first applies
+/// the batch to the owned [`SharedGraph`] (copy-on-write if snapshot
+/// handles are still alive), then lets every shard process the batch
+/// against the immutable post-batch view.
+///
+/// # Examples
+///
+/// ```
+/// use cisgraph_engines::{QueryServer, ServeConfig};
+/// use cisgraph_algo::Ppsp;
+/// use cisgraph_graph::DynamicGraph;
+/// use cisgraph_types::{EdgeUpdate, PairQuery, VertexId, Weight};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = DynamicGraph::new(3);
+/// g.apply(EdgeUpdate::insert(VertexId::new(0), VertexId::new(1), Weight::new(1.0)?))?;
+/// g.apply(EdgeUpdate::insert(VertexId::new(1), VertexId::new(2), Weight::new(1.0)?))?;
+/// let queries = vec![
+///     PairQuery::new(VertexId::new(0), VertexId::new(2))?,
+///     PairQuery::new(VertexId::new(1), VertexId::new(2))?,
+/// ];
+/// let mut server = QueryServer::<Ppsp>::new(g, &queries, &ServeConfig::with_threads(2));
+///
+/// let report = server.process_batch(&[EdgeUpdate::insert(
+///     VertexId::new(0),
+///     VertexId::new(2),
+///     Weight::new(1.5)?,
+/// )])?;
+/// assert_eq!(report.queries, 2);
+/// assert_eq!(server.answer(queries[0]).unwrap().get(), 1.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct QueryServer<A: MonotonicAlgorithm> {
+    graph: SharedGraph,
+    shards: Vec<MultiQuery<A>>,
+}
+
+impl<A: MonotonicAlgorithm> QueryServer<A> {
+    /// Takes ownership of `graph`, registers `queries`, and converges every
+    /// distinct source — shards converge concurrently, one thread each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query endpoint is outside `graph` (same contract as
+    /// [`MultiQuery::new`]).
+    pub fn new(graph: DynamicGraph, queries: &[PairQuery], config: &ServeConfig) -> Self {
+        let graph = SharedGraph::new(graph);
+        // Deterministic sharding: sort distinct sources, deal round-robin.
+        let mut by_source: BTreeMap<VertexId, Vec<PairQuery>> = BTreeMap::new();
+        for &q in queries {
+            by_source.entry(q.source()).or_default().push(q);
+        }
+        let n = config.threads.max(1).min(by_source.len().max(1));
+        let mut shard_queries: Vec<Vec<PairQuery>> = vec![Vec::new(); n];
+        for (i, (_, qs)) in by_source.into_iter().enumerate() {
+            shard_queries[i % n].extend(qs);
+        }
+        let view = graph.graph();
+        let shards = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = shard_queries
+                .iter()
+                .map(|qs| s.spawn(move |_| MultiQuery::new(view, qs)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard convergence thread panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("thread scope");
+        Self { graph, shards }
+    }
+
+    /// Number of shards (the per-batch fan-out width).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of standing queries.
+    pub fn num_queries(&self) -> usize {
+        self.shards.iter().map(MultiQuery::num_queries).sum()
+    }
+
+    /// The current (post-batch) topology.
+    pub fn graph(&self) -> &DynamicGraph {
+        self.graph.graph()
+    }
+
+    /// A cheap handle to the current topology snapshot. The handle keeps
+    /// observing this snapshot even as further batches are served
+    /// (copy-on-write on the server's side).
+    pub fn snapshot_handle(&self) -> SharedGraph {
+        self.graph.clone()
+    }
+
+    /// All standing queries with their current answers, sorted by
+    /// (source, destination).
+    pub fn answers(&self) -> Vec<(PairQuery, State)> {
+        let mut out: Vec<(PairQuery, State)> =
+            self.shards.iter().flat_map(MultiQuery::answers).collect();
+        out.sort_by_key(|(q, _)| (q.source(), q.destination()));
+        out
+    }
+
+    /// The current answer for one standing query, `None` if it was never
+    /// registered.
+    pub fn answer(&self, query: PairQuery) -> Option<State> {
+        self.shards.iter().find_map(|s| s.answer(query))
+    }
+
+    /// Applies `batch` to the owned graph, then serves it to every shard
+    /// concurrently and merges the per-group reports.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-mutation failures (deleting an absent edge,
+    /// out-of-bounds endpoints) *before* any shard has run, so standing
+    /// query state is never half-updated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics.
+    pub fn process_batch(&mut self, batch: &[EdgeUpdate]) -> Result<ServeReport, GraphError> {
+        self.graph.apply_batch(batch)?;
+        let view = self.graph.graph();
+        let shards = &mut self.shards;
+        let start = Instant::now();
+        let per_shard: Vec<Vec<BatchReport>> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = shards
+                .iter_mut()
+                .map(|shard| s.spawn(move |_| shard.process_batch_per_group(view, batch)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker thread panicked"))
+                .collect()
+        })
+        .expect("thread scope");
+        let wall_time = start.elapsed();
+        Ok(self.merge(per_shard, wall_time))
+    }
+
+    fn merge(&self, per_shard: Vec<Vec<BatchReport>>, wall_time: Duration) -> ServeReport {
+        let answers = self.answers();
+        let first = answers
+            .first()
+            .map(|&(_, s)| s)
+            .unwrap_or_else(A::unreached);
+        let mut work = ReportCore::new(first);
+        let mut classification = ClassificationSummary::default();
+        let mut responses: Vec<Duration> = Vec::new();
+        for report in per_shard.iter().flatten() {
+            work.accumulate(&report.core);
+            if let Some(s) = report.classification {
+                classification += s;
+            }
+            responses.push(report.response_time);
+        }
+        responses.sort_unstable();
+        ServeReport {
+            queries: answers.len(),
+            shards: per_shard.len(),
+            groups: responses.len(),
+            wall_time,
+            response_p50: percentile(&responses, 0.50),
+            response_p95: percentile(&responses, 0.95),
+            response_max: responses.last().copied().unwrap_or(Duration::ZERO),
+            work,
+            classification,
+            answers,
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = (p * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ColdStart, StreamingEngine};
+    use cisgraph_algo::{Ppsp, Reach};
+    use cisgraph_datasets::erdos_renyi;
+    use cisgraph_datasets::weights::WeightDistribution;
+    use cisgraph_graph::GraphView;
+    use cisgraph_types::Weight;
+
+    fn v(x: u32) -> VertexId {
+        VertexId::new(x)
+    }
+
+    /// A small streaming scenario: a graph, a query set with shared
+    /// sources, and deletion-heavy batches.
+    fn scenario() -> (DynamicGraph, Vec<PairQuery>, Vec<Vec<EdgeUpdate>>) {
+        let edges = erdos_renyi::generate(60, 500, WeightDistribution::paper_default(), 23);
+        let g = DynamicGraph::from_edges(60, edges.clone());
+        let mut batches: Vec<Vec<EdgeUpdate>> = vec![Vec::new(); 3];
+        for (i, &(a, b, wt)) in edges.iter().enumerate() {
+            if i % 4 == 0 {
+                batches[i % 3].push(EdgeUpdate::delete(a, b, wt));
+            }
+        }
+        let mut queries = Vec::new();
+        for s in 0..12u32 {
+            queries.push(PairQuery::new(v(s), v((s + 13) % 60)).unwrap());
+            if s % 3 == 0 {
+                // Same-source pair: shares the group's converged state.
+                queries.push(PairQuery::new(v(s), v((s + 29) % 60)).unwrap());
+            }
+        }
+        (g, queries, batches)
+    }
+
+    fn serve_all(threads: usize) -> (Vec<(PairQuery, State)>, Vec<ServeReport>) {
+        let (g, queries, batches) = scenario();
+        let mut server = QueryServer::<Ppsp>::new(g, &queries, &ServeConfig::with_threads(threads));
+        let reports = batches
+            .iter()
+            .map(|b| server.process_batch(b).expect("batch applies"))
+            .collect();
+        (server.answers(), reports)
+    }
+
+    #[test]
+    fn answers_are_identical_across_thread_counts() {
+        let (baseline, _) = serve_all(1);
+        for threads in [2, 3, 8] {
+            let (answers, _) = serve_all(threads);
+            assert_eq!(answers, baseline, "threads = {threads}");
+            // Byte-identical, not merely PartialEq-equal.
+            assert_eq!(
+                serde_json::to_string(&answers).unwrap(),
+                serde_json::to_string(&baseline).unwrap(),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn work_counters_are_identical_across_thread_counts() {
+        let (_, baseline) = serve_all(1);
+        let (_, parallel) = serve_all(8);
+        for (a, b) in baseline.iter().zip(&parallel) {
+            assert_eq!(a.work.counters, b.work.counters);
+            assert_eq!(a.classification, b.classification);
+            assert_eq!(a.groups, b.groups);
+        }
+    }
+
+    #[test]
+    fn matches_sequential_multi_query() {
+        let (g, queries, batches) = scenario();
+        let mut reference_graph = g.clone();
+        let mut reference = MultiQuery::<Ppsp>::new(&reference_graph, &queries);
+        let mut server = QueryServer::<Ppsp>::new(g, &queries, &ServeConfig::with_threads(4));
+        for batch in &batches {
+            reference_graph.apply_batch(batch).unwrap();
+            reference.process_batch(&reference_graph, batch);
+            server.process_batch(batch).unwrap();
+        }
+        assert_eq!(server.answers(), reference.answers());
+    }
+
+    #[test]
+    fn matches_cold_start_per_query() {
+        let (g, queries, batches) = scenario();
+        let mut check_graph = g.clone();
+        let mut server = QueryServer::<Ppsp>::new(g, &queries, &ServeConfig::default());
+        for batch in &batches {
+            check_graph.apply_batch(batch).unwrap();
+            server.process_batch(batch).unwrap();
+        }
+        for &q in &queries {
+            let mut cs = ColdStart::<Ppsp>::new(q);
+            let expected = cs.process_batch(&check_graph, &[]).answer;
+            assert_eq!(server.answer(q).unwrap(), expected, "query {q}");
+        }
+    }
+
+    #[test]
+    fn report_shape_is_sane() {
+        let (_, reports) = serve_all(4);
+        for r in &reports {
+            assert_eq!(r.queries, 16);
+            assert!(r.shards <= 4);
+            assert!(r.groups >= r.shards);
+            assert!(r.response_p50 <= r.response_p95);
+            assert!(r.response_p95 <= r.response_max);
+            assert!(r.work.total_time >= r.work.response_time);
+            assert!(r.throughput() > 0.0);
+            assert!(r.parallel_speedup() > 0.0);
+            assert_eq!(r.answers.len(), r.queries);
+        }
+    }
+
+    #[test]
+    fn snapshot_handles_pin_their_batch() {
+        let mut g = DynamicGraph::new(3);
+        g.insert_edge(v(0), v(1), Weight::ONE).unwrap();
+        let queries = vec![PairQuery::new(v(0), v(1)).unwrap()];
+        let mut server = QueryServer::<Reach>::new(g, &queries, &ServeConfig::with_threads(2));
+        let before = server.snapshot_handle();
+        server
+            .process_batch(&[EdgeUpdate::delete(v(0), v(1), Weight::ONE)])
+            .unwrap();
+        assert_eq!(before.graph().num_edges(), 1);
+        assert_eq!(server.graph().num_edges(), 0);
+        assert_eq!(server.answer(queries[0]).unwrap(), State::ZERO);
+    }
+
+    #[test]
+    fn bad_batch_leaves_standing_state_untouched() {
+        let mut g = DynamicGraph::new(3);
+        g.insert_edge(v(0), v(1), Weight::ONE).unwrap();
+        let queries = vec![PairQuery::new(v(0), v(1)).unwrap()];
+        let mut server = QueryServer::<Ppsp>::new(g, &queries, &ServeConfig::with_threads(1));
+        let err = server.process_batch(&[EdgeUpdate::delete(v(1), v(2), Weight::ONE)]);
+        assert!(err.is_err());
+        assert_eq!(server.answer(queries[0]).unwrap().get(), 1.0);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let ms: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&ms, 0.50), Duration::from_millis(50));
+        assert_eq!(percentile(&ms, 0.95), Duration::from_millis(95));
+        assert_eq!(percentile(&ms, 1.0), Duration::from_millis(100));
+        assert_eq!(percentile(&[], 0.5), Duration::ZERO);
+        assert_eq!(
+            percentile(&[Duration::from_millis(7)], 0.5),
+            Duration::from_millis(7)
+        );
+    }
+
+    #[test]
+    fn serde_report_round_trip() {
+        let (_, reports) = serve_all(2);
+        let json = serde_json::to_string(&reports[0]).unwrap();
+        assert!(json.contains("wall_time"));
+        assert!(json.contains("answers"));
+    }
+}

@@ -9,6 +9,9 @@
 //!   paper: "CSR stores neighbor IDs and weights continuously in memory").
 //!   A [`Snapshot`] couples a forward CSR with its transpose so deletion
 //!   repair can enumerate in-neighbors.
+//! * [`SharedGraph`] — a cheap cloneable handle ([`std::sync::Arc`] +
+//!   copy-on-write) used by the multi-query serving layer to hand the same
+//!   post-batch topology to many reader threads.
 //!
 //! Both implement [`GraphView`], the read interface every algorithm is
 //! written against.
@@ -40,6 +43,7 @@ mod dynamic;
 mod edge;
 mod error;
 mod io;
+mod shared;
 mod stats;
 mod view;
 
@@ -51,5 +55,6 @@ pub use io::{
     read_edge_list, read_edge_list_binary, read_update_list, write_edge_list,
     write_edge_list_binary, write_update_list,
 };
+pub use shared::SharedGraph;
 pub use stats::{degree_stats, DegreeStats};
 pub use view::{GraphView, ReversedView};

@@ -13,7 +13,9 @@
 //! * [`datasets`] — R-MAT stand-in datasets and the §IV-A batch protocol,
 //! * [`algo`] — the five monotonic algorithms, solvers, incremental
 //!   computation, and Algorithm 1 classification,
-//! * [`engines`] — Cold-Start, SGraph, PnP, and CISGraph-O,
+//! * [`engines`] — Cold-Start, SGraph, PnP, CISGraph-O, the object-safe
+//!   [`DynEngine`](engines::DynEngine) wrapper, and the parallel
+//!   [`QueryServer`](engines::QueryServer) serving layer,
 //! * [`sim`] — the DDR4 + scratchpad timing substrate,
 //! * [`core`] — the CISGraph accelerator model.
 //!
@@ -40,6 +42,36 @@
 //! g.apply_batch(&batch)?;
 //! let report = engine.process_batch(&g, &batch);
 //! assert_eq!(report.answer.get(), 3.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Serving many standing queries
+//!
+//! A [`QueryServer`](engines::QueryServer) owns the graph, shards a
+//! registry of standing queries by source vertex, and fans each batch
+//! across worker threads — with bit-identical answers at every thread
+//! count:
+//!
+//! ```
+//! use cisgraph::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut g = DynamicGraph::new(4);
+//! g.apply(EdgeUpdate::insert(VertexId::new(0), VertexId::new(1), Weight::new(2.0)?))?;
+//! g.apply(EdgeUpdate::insert(VertexId::new(1), VertexId::new(3), Weight::new(2.0)?))?;
+//!
+//! let queries = vec![
+//!     PairQuery::new(VertexId::new(0), VertexId::new(3))?,
+//!     PairQuery::new(VertexId::new(0), VertexId::new(1))?, // same source: shares state
+//!     PairQuery::new(VertexId::new(1), VertexId::new(3))?,
+//! ];
+//! let mut server = QueryServer::<Ppsp>::new(g, &queries, &ServeConfig::with_threads(2));
+//!
+//! let batch = vec![EdgeUpdate::insert(VertexId::new(0), VertexId::new(3), Weight::new(3.0)?)];
+//! let report = server.process_batch(&batch)?;
+//! assert_eq!(report.queries, 3);
+//! assert_eq!(server.answer(queries[0]).unwrap().get(), 3.0);
 //! # Ok(())
 //! # }
 //! ```
@@ -76,9 +108,12 @@ pub mod prelude {
     };
     pub use cisgraph_datasets::{registry, Dataset, StreamConfig, StreamingWorkload};
     pub use cisgraph_engines::{
-        BatchReport, CisGraphO, ColdStart, Pnp, SGraph, SGraphConfig, StreamingEngine,
+        into_dyn, BatchReport, CisGraphO, ColdStart, DynEngine, MultiQuery, Pnp, QueryServer,
+        ReportCore, SGraph, SGraphConfig, ServeConfig, ServeReport, StreamingEngine,
     };
-    pub use cisgraph_graph::{Csr, DynamicGraph, Edge, GraphView, ReversedView, Snapshot};
+    pub use cisgraph_graph::{
+        Csr, DynamicGraph, Edge, GraphView, ReversedView, SharedGraph, Snapshot,
+    };
     pub use cisgraph_types::{
         Contribution, EdgeUpdate, PairQuery, State, UpdateKind, VertexId, Weight,
     };

@@ -1,0 +1,138 @@
+//! Offline stub of `criterion`.
+//!
+//! Runs each registered benchmark a handful of times and prints the mean
+//! wall-clock duration. No statistics, no HTML reports; `--quick` (and any
+//! other harness flag) is tolerated. Enough for `cargo bench` smoke runs.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    iterations: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick");
+        Criterion {
+            iterations: if quick { 1 } else { 10 },
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup { criterion: self }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<N, F>(&mut self, name: N, mut f: F) -> &mut Self
+    where
+        N: std::fmt::Display,
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iterations: self.iterations,
+            total: Duration::ZERO,
+            runs: 0,
+        };
+        f(&mut bencher);
+        let mean = bencher
+            .total
+            .checked_div(bencher.runs.max(1))
+            .unwrap_or_default();
+        println!("  {name}: {mean:?} (mean of {} iters)", bencher.runs.max(1));
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; sampling is fixed in this stub.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; throughput is not reported.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; measurement time is fixed in this stub.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a single named benchmark within the group.
+    pub fn bench_function<N, F>(&mut self, name: N, f: F) -> &mut Self
+    where
+        N: std::fmt::Display,
+        F: FnMut(&mut Bencher),
+    {
+        self.criterion.bench_function(name, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares how many logical elements/bytes one iteration processes.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handle, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    iterations: u32,
+    total: Duration,
+    runs: u32,
+}
+
+impl Bencher {
+    /// Times `f` over a fixed number of iterations.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        for _ in 0..self.iterations {
+            let start = Instant::now();
+            black_box(f());
+            self.total += start.elapsed();
+            self.runs += 1;
+        }
+    }
+}
+
+/// Bundles benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

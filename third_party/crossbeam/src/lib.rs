@@ -1,0 +1,64 @@
+//! Offline stub of `crossbeam`.
+//!
+//! Only [`thread::scope`] is provided (the one API this workspace uses),
+//! implemented on top of `std::thread::scope`, keeping crossbeam's call shape:
+//! the scope closure and each spawned closure receive a `&Scope`, `spawn`
+//! returns a joinable handle, and `scope` returns a `Result`.
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::thread::Result as ThreadResult;
+
+    /// Handle for spawning threads tied to the scope's lifetime.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to join a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, yielding its result (or the
+        /// panic payload).
+        ///
+        /// # Errors
+        ///
+        /// Returns the panic payload if the thread panicked.
+        pub fn join(self) -> ThreadResult<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope; the closure receives the scope
+        /// so it can spawn further threads (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be spawned; all
+    /// threads are joined before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Unlike crossbeam (which collects child panics into the `Err` arm),
+    /// this stub propagates unhandled child panics via `std::thread::scope`;
+    /// the `Result` wrapper is kept for call-site compatibility and is
+    /// always `Ok`.
+    pub fn scope<'env, F, R>(f: F) -> ThreadResult<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}

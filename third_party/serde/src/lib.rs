@@ -1,0 +1,469 @@
+//! Offline stub of `serde`.
+//!
+//! The real crates.io registry is unreachable in this build environment, so
+//! this crate provides the small serde surface the workspace actually uses:
+//! `Serialize`/`Deserialize` traits over a self-describing [`Content`] tree
+//! (the moral equivalent of `serde_json::Value`), plus the derive macros
+//! re-exported from the vendored `serde_derive`.
+//!
+//! The data model intentionally mirrors JSON: the companion `serde_json`
+//! stub renders [`Content`] to JSON text and parses it back.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::time::Duration;
+
+/// Self-describing serialized value — the entire data model of this stub.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed (negative) integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Content>),
+    /// Object (insertion-ordered).
+    Map(Vec<(String, Content)>),
+}
+
+/// Serialization/deserialization error.
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error from any displayable message.
+    pub fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Error({:?})", self.msg)
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can render itself into the [`Content`] data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Content`] tree.
+    fn to_content(&self) -> Content;
+}
+
+/// A type that can reconstruct itself from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    /// Builds `Self` from a [`Content`] tree.
+    fn from_content(content: &Content) -> Result<Self, Error>;
+}
+
+/// Mirrors `serde::ser` for code that names the module path.
+pub mod ser {
+    pub use crate::{Error, Serialize};
+}
+
+/// Mirrors `serde::de` for code that names the module path.
+pub mod de {
+    pub use crate::{Deserialize, Error};
+
+    /// Marker for deserializable types that borrow nothing (all of them here).
+    pub trait DeserializeOwned: Deserialize {}
+    impl<T: Deserialize> DeserializeOwned for T {}
+}
+
+/// Looks up a required field in a serialized map (used by derived impls).
+///
+/// # Errors
+///
+/// Returns an error naming the missing field and container type.
+pub fn __req<T: Deserialize>(map: &[(String, Content)], key: &str, ty: &str) -> Result<T, Error> {
+    match map.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_content(v),
+        None => Err(Error::custom(format!("missing field `{key}` in `{ty}`"))),
+    }
+}
+
+// ------------------------------------------------------------- primitives
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let v = match *content {
+                    Content::U64(v) => v,
+                    Content::I64(v) if v >= 0 => v as u64,
+                    Content::F64(v) if v >= 0.0 && v.fract() == 0.0 => v as u64,
+                    ref other => {
+                        return Err(Error::custom(format!(
+                            "expected unsigned integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(v).map_err(Error::custom)
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let v = match *content {
+                    Content::I64(v) => v,
+                    Content::U64(v) => i64::try_from(v).map_err(Error::custom)?,
+                    Content::F64(v) if v.fract() == 0.0 => v as i64,
+                    ref other => {
+                        return Err(Error::custom(format!(
+                            "expected integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(v).map_err(Error::custom)
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::F64(f64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                match *content {
+                    Content::F64(v) => Ok(v as $t),
+                    Content::U64(v) => Ok(v as $t),
+                    Content::I64(v) => Ok(v as $t),
+                    ref other => Err(Error::custom(format!(
+                        "expected number, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Leaks the parsed string; acceptable for the static registry metadata
+    /// this workspace round-trips.
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Null => Ok(None),
+            other => Ok(Some(T::from_content(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(Error::custom(format!("expected sequence, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                match content {
+                    Content::Seq(items) if items.len() == [$($idx),+].len() => {
+                        Ok(($($name::from_content(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::custom(format!(
+                        "expected tuple sequence, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for Duration {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("secs".to_string(), Content::U64(self.as_secs())),
+            (
+                "nanos".to_string(),
+                Content::U64(u64::from(self.subsec_nanos())),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for Duration {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Map(m) => {
+                let secs: u64 = __req(m, "secs", "Duration")?;
+                let nanos: u32 = __req(m, "nanos", "Duration")?;
+                Ok(Duration::new(secs, nanos))
+            }
+            other => Err(Error::custom(format!(
+                "expected duration map, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<T: ?Sized> Serialize for PhantomData<T> {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl<T: ?Sized> Deserialize for PhantomData<T> {
+    fn from_content(_: &Content) -> Result<Self, Error> {
+        Ok(PhantomData)
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        Ok(content.clone())
+    }
+}
+
+// ------------------------------------------------- Value-like conveniences
+
+static NULL: Content = Content::Null;
+
+impl std::ops::Index<&str> for Content {
+    type Output = Content;
+
+    /// Object field access; missing keys and non-objects index to `Null`,
+    /// matching `serde_json::Value` semantics.
+    fn index(&self, key: &str) -> &Content {
+        match self {
+            Content::Map(m) => m
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Content {
+    type Output = Content;
+
+    fn index(&self, idx: usize) -> &Content {
+        match self {
+            Content::Seq(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+macro_rules! impl_partial_eq_num {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Content {
+            #[allow(clippy::cast_lossless, clippy::cast_precision_loss)]
+            fn eq(&self, other: &$t) -> bool {
+                match *self {
+                    Content::U64(v) => v as f64 == *other as f64,
+                    Content::I64(v) => v as f64 == *other as f64,
+                    Content::F64(v) => v == *other as f64,
+                    _ => false,
+                }
+            }
+        }
+    )*};
+}
+impl_partial_eq_num!(u32, u64, usize, i32, i64, f64);
+
+impl PartialEq<bool> for Content {
+    fn eq(&self, other: &bool) -> bool {
+        matches!(self, Content::Bool(b) if b == other)
+    }
+}
+
+impl PartialEq<&str> for Content {
+    fn eq(&self, other: &&str) -> bool {
+        matches!(self, Content::Str(s) if s == other)
+    }
+}
+
+impl PartialEq<String> for Content {
+    fn eq(&self, other: &String) -> bool {
+        matches!(self, Content::Str(s) if s == other)
+    }
+}
+
+macro_rules! impl_from_num {
+    ($($t:ty => $variant:ident as $cast:ty),*) => {$(
+        impl From<$t> for Content {
+            fn from(v: $t) -> Content {
+                Content::$variant(v as $cast)
+            }
+        }
+    )*};
+}
+impl_from_num!(u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64,
+               u64 => U64 as u64, usize => U64 as u64, f64 => F64 as f64);
+
+macro_rules! impl_from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Content {
+            fn from(v: $t) -> Content {
+                let v = i64::from(v);
+                if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                }
+            }
+        }
+    )*};
+}
+impl_from_signed!(i8, i16, i32, i64);
+
+impl From<bool> for Content {
+    fn from(v: bool) -> Content {
+        Content::Bool(v)
+    }
+}
+
+impl From<&str> for Content {
+    fn from(v: &str) -> Content {
+        Content::Str(v.to_string())
+    }
+}
+
+impl From<String> for Content {
+    fn from(v: String) -> Content {
+        Content::Str(v)
+    }
+}

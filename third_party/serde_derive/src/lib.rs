@@ -1,0 +1,757 @@
+//! Offline stub of `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! vendored `serde` stub's `Content` data model, without `syn`/`quote`: the
+//! input `TokenStream` is walked by hand and the generated impl is built as a
+//! string and re-parsed.
+//!
+//! Supported shapes (everything this workspace uses):
+//! * named structs (with `#[serde(skip)]` fields and generics),
+//! * newtype / tuple structs, unit structs,
+//! * enums with unit, newtype, and struct variants (externally tagged),
+//! * container attributes `transparent`, `untagged`, `try_from = "T"`,
+//!   `into = "T"`, and `bound(...)` (which suppresses inferred bounds).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default)]
+struct ContainerAttrs {
+    transparent: bool,
+    untagged: bool,
+    try_from: Option<String>,
+    into: Option<String>,
+    bound_present: bool,
+}
+
+struct Param {
+    /// `"A"` for a type param, `"'a"` for a lifetime.
+    name: String,
+    /// Declared bounds, without the leading `:` (may be empty).
+    bounds: String,
+    is_type: bool,
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantBody {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    body: VariantBody,
+}
+
+enum Body {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    params: Vec<Param>,
+    attrs: ContainerAttrs,
+    body: Body,
+}
+
+/// Derives the stub `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let code = gen_serialize(&input);
+    code.parse().unwrap_or_else(|e| {
+        panic!("serde_derive stub produced invalid Serialize impl: {e}\n{code}")
+    })
+}
+
+/// Derives the stub `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let code = gen_deserialize(&input);
+    code.parse().unwrap_or_else(|e| {
+        panic!("serde_derive stub produced invalid Deserialize impl: {e}\n{code}")
+    })
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(id) if id.to_string() == s)
+}
+
+fn strip_quotes(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn parse_input(ts: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0usize;
+    let mut attrs = ContainerAttrs::default();
+
+    // Leading attributes (doc comments, #[serde(...)], #[non_exhaustive], ...).
+    while i + 1 < toks.len() && is_punct(&toks[i], '#') {
+        if let TokenTree::Group(g) = &toks[i + 1] {
+            if g.delimiter() == Delimiter::Bracket {
+                parse_container_attr(g.stream(), &mut attrs);
+                i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+
+    // Visibility.
+    if i < toks.len() && is_ident(&toks[i], "pub") {
+        i += 1;
+        if let Some(TokenTree::Group(g)) = toks.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                i += 1;
+            }
+        }
+    }
+
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("serde_derive stub: expected `struct` or `enum`, got {t}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("serde_derive stub: expected type name, got {t}"),
+    };
+    i += 1;
+
+    // Generic parameter list.
+    let mut params = Vec::new();
+    if i < toks.len() && is_punct(&toks[i], '<') {
+        i += 1;
+        let mut depth = 0usize;
+        let mut cur: Vec<TokenTree> = Vec::new();
+        while i < toks.len() {
+            let t = &toks[i];
+            if is_punct(t, '<') {
+                depth += 1;
+                cur.push(t.clone());
+            } else if is_punct(t, '>') {
+                if depth == 0 {
+                    if !cur.is_empty() {
+                        params.push(parse_param(&cur));
+                    }
+                    i += 1;
+                    break;
+                }
+                depth -= 1;
+                cur.push(t.clone());
+            } else if is_punct(t, ',') && depth == 0 {
+                if !cur.is_empty() {
+                    params.push(parse_param(&cur));
+                }
+                cur = Vec::new();
+            } else {
+                cur.push(t.clone());
+            }
+            i += 1;
+        }
+    }
+
+    if i < toks.len() && is_ident(&toks[i], "where") {
+        panic!("serde_derive stub: `where` clauses are not supported");
+    }
+
+    let body = if kind == "enum" {
+        match &toks[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            t => panic!("serde_derive stub: expected enum body, got {t}"),
+        }
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(t) if is_punct(t, ';') => Body::Unit,
+            None => Body::Unit,
+            Some(t) => panic!("serde_derive stub: expected struct body, got {t}"),
+        }
+    };
+
+    Input {
+        name,
+        params,
+        attrs,
+        body,
+    }
+}
+
+fn parse_param(toks: &[TokenTree]) -> Param {
+    if is_punct(&toks[0], '\'') {
+        let id = match toks.get(1) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => panic!("serde_derive stub: malformed lifetime parameter"),
+        };
+        let bounds = if toks.len() > 2 && is_punct(&toks[2], ':') {
+            join_tokens(&toks[3..])
+        } else {
+            String::new()
+        };
+        return Param {
+            name: format!("'{id}"),
+            bounds,
+            is_type: false,
+        };
+    }
+    if is_ident(&toks[0], "const") {
+        panic!("serde_derive stub: const generics are not supported");
+    }
+    let name = match &toks[0] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("serde_derive stub: malformed type parameter {t}"),
+    };
+    let bounds = if toks.len() > 1 && is_punct(&toks[1], ':') {
+        join_tokens(&toks[2..])
+    } else {
+        String::new()
+    };
+    Param {
+        name,
+        bounds,
+        is_type: true,
+    }
+}
+
+fn join_tokens(toks: &[TokenTree]) -> String {
+    toks.iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn parse_container_attr(stream: TokenStream, attrs: &mut ContainerAttrs) {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() || !is_ident(&toks[0], "serde") {
+        return;
+    }
+    let inner = match toks.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return,
+    };
+    for item in split_top_level(inner) {
+        if item.is_empty() {
+            continue;
+        }
+        let key = match &item[0] {
+            TokenTree::Ident(id) => id.to_string(),
+            _ => continue,
+        };
+        match key.as_str() {
+            "transparent" => attrs.transparent = true,
+            "untagged" => attrs.untagged = true,
+            "bound" => attrs.bound_present = true,
+            "try_from" | "into" => {
+                let val = item
+                    .iter()
+                    .find_map(|t| match t {
+                        TokenTree::Literal(l) => Some(strip_quotes(&l.to_string())),
+                        _ => None,
+                    })
+                    .unwrap_or_default();
+                if key == "try_from" {
+                    attrs.try_from = Some(val);
+                } else {
+                    attrs.into = Some(val);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Splits a token stream at top-level commas (angle brackets tracked by hand;
+/// `(...)`/`[...]`/`{...}` are already single `Group` tokens).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut depth = 0i32;
+    for t in stream {
+        if is_punct(&t, '<') {
+            depth += 1;
+        } else if is_punct(&t, '>') {
+            depth -= 1;
+        } else if is_punct(&t, ',') && depth == 0 {
+            out.push(std::mem::take(&mut cur));
+            continue;
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn field_attr_skips(stream: TokenStream) -> bool {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() || !is_ident(&toks[0], "serde") {
+        return false;
+    }
+    let inner = match toks.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return false,
+    };
+    inner.into_iter().any(|t| {
+        matches!(
+            &t,
+            TokenTree::Ident(id)
+                if matches!(id.to_string().as_str(), "skip" | "skip_serializing" | "skip_deserializing")
+        )
+    })
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0usize;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let mut skip = false;
+        while i + 1 < toks.len() && is_punct(&toks[i], '#') {
+            if let TokenTree::Group(g) = &toks[i + 1] {
+                if field_attr_skips(g.stream()) {
+                    skip = true;
+                }
+            }
+            i += 2;
+        }
+        if i < toks.len() && is_ident(&toks[i], "pub") {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => panic!("serde_derive stub: expected field name, got {t}"),
+        };
+        i += 1;
+        // Skip `:` and the type, up to the next top-level comma.
+        debug_assert!(is_punct(&toks[i], ':'));
+        i += 1;
+        let mut depth = 0i32;
+        while i < toks.len() {
+            let t = &toks[i];
+            if is_punct(t, '<') {
+                depth += 1;
+            } else if is_punct(t, '>') {
+                depth -= 1;
+            } else if is_punct(t, ',') && depth == 0 {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0usize;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        while i + 1 < toks.len() && is_punct(&toks[i], '#') {
+            i += 2; // variant attributes (doc comments) are irrelevant here
+        }
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => panic!("serde_derive stub: expected variant name, got {t}"),
+        };
+        i += 1;
+        let body = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantBody::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantBody::Named(
+                    parse_named_fields(g.stream())
+                        .into_iter()
+                        .map(|f| f.name)
+                        .collect(),
+                )
+            }
+            _ => VariantBody::Unit,
+        };
+        if i < toks.len() && is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, body });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+const RESULT: &str = "::core::result::Result";
+
+/// Builds `impl<...> ::serde::Trait for Name<...>`, repeating declared bounds
+/// and (unless `#[serde(bound(...))]` was given) adding `extra_bound` to each
+/// type parameter.
+fn impl_header(input: &Input, trait_name: &str, extra_bound: &str) -> String {
+    if input.params.is_empty() {
+        return format!("impl ::serde::{} for {}", trait_name, input.name);
+    }
+    let impl_params: Vec<String> = input
+        .params
+        .iter()
+        .map(|p| {
+            let mut bounds = p.bounds.clone();
+            if p.is_type && !input.attrs.bound_present {
+                if bounds.is_empty() {
+                    bounds = extra_bound.to_string();
+                } else {
+                    bounds = format!("{bounds} + {extra_bound}");
+                }
+            }
+            if bounds.is_empty() {
+                p.name.clone()
+            } else {
+                format!("{}: {}", p.name, bounds)
+            }
+        })
+        .collect();
+    let ty_params: Vec<String> = input.params.iter().map(|p| p.name.clone()).collect();
+    format!(
+        "impl<{}> ::serde::{} for {}<{}>",
+        impl_params.join(", "),
+        trait_name,
+        input.name,
+        ty_params.join(", ")
+    )
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let header = impl_header(input, "Serialize", "::serde::Serialize");
+    let name = &input.name;
+    let body = if let Some(into_ty) = &input.attrs.into {
+        format!(
+            "let __repr: {into_ty} = \
+             ::core::convert::Into::into(::core::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_content(&__repr)"
+        )
+    } else {
+        match &input.body {
+            Body::Unit => "::serde::Content::Null".to_string(),
+            Body::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+            _ if input.attrs.transparent => "::serde::Serialize::to_content(&self.0)".to_string(),
+            Body::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Serialize::to_content(&self.{k})"))
+                    .collect();
+                format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+            }
+            Body::Named(fields) => gen_named_ser(fields, "self."),
+            Body::Enum(variants) => gen_enum_ser(name, variants, input.attrs.untagged),
+        }
+    };
+    format!(
+        "#[automatically_derived]\n{header} {{\n\
+         fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_named_ser(fields: &[Field], access: &str) -> String {
+    let mut out = String::from(
+        "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for f in fields.iter().filter(|f| !f.skip) {
+        let fname = &f.name;
+        out.push_str(&format!(
+            "__m.push((::std::string::String::from(\"{fname}\"), \
+             ::serde::Serialize::to_content(&{access}{fname})));\n"
+        ));
+    }
+    out.push_str("::serde::Content::Map(__m)");
+    out
+}
+
+fn gen_enum_ser(name: &str, variants: &[Variant], untagged: bool) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        let arm = match &v.body {
+            VariantBody::Unit => {
+                if untagged {
+                    format!("{name}::{vname} => ::serde::Content::Null,\n")
+                } else {
+                    format!(
+                        "{name}::{vname} => \
+                         ::serde::Content::Str(::std::string::String::from(\"{vname}\")),\n"
+                    )
+                }
+            }
+            VariantBody::Tuple(n) => {
+                let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                let inner = if *n == 1 {
+                    "::serde::Serialize::to_content(__f0)".to_string()
+                } else {
+                    let items: Vec<String> = binders
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_content({b})"))
+                        .collect();
+                    format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+                };
+                let payload = if untagged {
+                    inner
+                } else {
+                    format!(
+                        "::serde::Content::Map(::std::vec![\
+                         (::std::string::String::from(\"{vname}\"), {inner})])"
+                    )
+                };
+                format!("{name}::{vname}({}) => {payload},\n", binders.join(", "))
+            }
+            VariantBody::Named(fields) => {
+                let mut inner = String::from(
+                    "{ let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = \
+                     ::std::vec::Vec::new();\n",
+                );
+                for f in fields {
+                    inner.push_str(&format!(
+                        "__m.push((::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_content({f})));\n"
+                    ));
+                }
+                inner.push_str("::serde::Content::Map(__m) }");
+                let payload = if untagged {
+                    inner
+                } else {
+                    format!(
+                        "::serde::Content::Map(::std::vec![\
+                         (::std::string::String::from(\"{vname}\"), {inner})])"
+                    )
+                };
+                format!(
+                    "{name}::{vname} {{ {} }} => {payload},\n",
+                    fields.join(", ")
+                )
+            }
+        };
+        arms.push_str(&arm);
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let header = impl_header(input, "Deserialize", "::serde::Deserialize");
+    let name = &input.name;
+    let body = if let Some(try_ty) = &input.attrs.try_from {
+        format!(
+            "let __repr: {try_ty} = ::serde::Deserialize::from_content(__c)?;\n\
+             ::core::convert::TryFrom::try_from(__repr).map_err(::serde::Error::custom)"
+        )
+    } else {
+        match &input.body {
+            Body::Unit => format!("{RESULT}::Ok({name})"),
+            Body::Tuple(1) => {
+                format!("{RESULT}::Ok({name}(::serde::Deserialize::from_content(__c)?))")
+            }
+            _ if input.attrs.transparent => {
+                format!("{RESULT}::Ok({name}(::serde::Deserialize::from_content(__c)?))")
+            }
+            Body::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_content(&__s[{k}])?"))
+                    .collect();
+                format!(
+                    "match __c {{\n\
+                     ::serde::Content::Seq(__s) if __s.len() == {n} => \
+                     {RESULT}::Ok({name}({items})),\n\
+                     _ => {RESULT}::Err(::serde::Error::custom(\
+                     \"expected a sequence of {n} elements for `{name}`\")),\n}}",
+                    items = items.join(", ")
+                )
+            }
+            Body::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        if f.skip {
+                            format!("{}: ::core::default::Default::default()", f.name)
+                        } else {
+                            format!(
+                                "{field}: ::serde::__req(__m, \"{field}\", \"{name}\")?",
+                                field = f.name
+                            )
+                        }
+                    })
+                    .collect();
+                format!(
+                    "match __c {{\n\
+                     ::serde::Content::Map(__m) => {RESULT}::Ok({name} {{ {inits} }}),\n\
+                     _ => {RESULT}::Err(::serde::Error::custom(\"expected map for `{name}`\")),\n}}",
+                    inits = inits.join(", ")
+                )
+            }
+            Body::Enum(variants) => {
+                if input.attrs.untagged {
+                    gen_enum_de_untagged(name, variants)
+                } else {
+                    gen_enum_de_tagged(name, variants)
+                }
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n{header} {{\n\
+         fn from_content(__c: &::serde::Content) -> {RESULT}<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
+
+fn gen_enum_de_tagged(name: &str, variants: &[Variant]) -> String {
+    let units: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| matches!(v.body, VariantBody::Unit))
+        .collect();
+    let payloads: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| !matches!(v.body, VariantBody::Unit))
+        .collect();
+
+    let mut out = String::from("match __c {\n");
+    if !units.is_empty() {
+        out.push_str("::serde::Content::Str(__s) => match __s.as_str() {\n");
+        for v in &units {
+            out.push_str(&format!(
+                "\"{v}\" => {RESULT}::Ok({name}::{v}),\n",
+                v = v.name
+            ));
+        }
+        out.push_str(&format!(
+            "__other => {RESULT}::Err(::serde::Error::custom(::std::format!(\
+             \"unknown variant `{{__other}}` of enum `{name}`\"))),\n}},\n"
+        ));
+    }
+    if !payloads.is_empty() {
+        out.push_str(
+            "::serde::Content::Map(__m) if __m.len() == 1 => {\n\
+             let (__k, __v) = (&__m[0].0, &__m[0].1);\n\
+             match __k.as_str() {\n",
+        );
+        for v in &payloads {
+            let vname = &v.name;
+            match &v.body {
+                VariantBody::Tuple(1) => out.push_str(&format!(
+                    "\"{vname}\" => {RESULT}::Ok({name}::{vname}(\
+                     ::serde::Deserialize::from_content(__v)?)),\n"
+                )),
+                VariantBody::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Deserialize::from_content(&__s[{k}])?"))
+                        .collect();
+                    out.push_str(&format!(
+                        "\"{vname}\" => match __v {{\n\
+                         ::serde::Content::Seq(__s) if __s.len() == {n} => \
+                         {RESULT}::Ok({name}::{vname}({items})),\n\
+                         _ => {RESULT}::Err(::serde::Error::custom(\
+                         \"expected a sequence for variant `{vname}`\")),\n}},\n",
+                        items = items.join(", ")
+                    ));
+                }
+                VariantBody::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::__req(__f, \"{f}\", \"{name}::{vname}\")?"))
+                        .collect();
+                    out.push_str(&format!(
+                        "\"{vname}\" => match __v {{\n\
+                         ::serde::Content::Map(__f) => \
+                         {RESULT}::Ok({name}::{vname} {{ {inits} }}),\n\
+                         _ => {RESULT}::Err(::serde::Error::custom(\
+                         \"expected map for variant `{vname}`\")),\n}},\n",
+                        inits = inits.join(", ")
+                    ));
+                }
+                VariantBody::Unit => unreachable!("filtered above"),
+            }
+        }
+        out.push_str(&format!(
+            "__other => {RESULT}::Err(::serde::Error::custom(::std::format!(\
+             \"unknown variant `{{__other}}` of enum `{name}`\"))),\n}}\n}},\n"
+        ));
+    }
+    out.push_str(&format!(
+        "_ => {RESULT}::Err(::serde::Error::custom(\
+         \"unexpected shape for enum `{name}`\")),\n}}"
+    ));
+    out
+}
+
+fn gen_enum_de_untagged(name: &str, variants: &[Variant]) -> String {
+    let mut out = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.body {
+            VariantBody::Unit => out.push_str(&format!(
+                "if ::core::matches!(__c, ::serde::Content::Null) {{\n\
+                 return {RESULT}::Ok({name}::{vname});\n}}\n"
+            )),
+            VariantBody::Tuple(1) => out.push_str(&format!(
+                "if let {RESULT}::Ok(__v) = ::serde::Deserialize::from_content(__c) {{\n\
+                 return {RESULT}::Ok({name}::{vname}(__v));\n}}\n"
+            )),
+            VariantBody::Tuple(_) => {
+                panic!("serde_derive stub: untagged multi-field tuple variants unsupported")
+            }
+            VariantBody::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::__req(__m, \"{f}\", \"{name}::{vname}\")?"))
+                    .collect();
+                out.push_str(&format!(
+                    "if let ::serde::Content::Map(__m) = __c {{\n\
+                     let __try = (|| -> {RESULT}<{name}, ::serde::Error> {{\n\
+                     {RESULT}::Ok({name}::{vname} {{ {inits} }})\n}})();\n\
+                     if let {RESULT}::Ok(__v) = __try {{\n\
+                     return {RESULT}::Ok(__v);\n}}\n}}\n",
+                    inits = inits.join(", ")
+                ));
+            }
+        }
+    }
+    out.push_str(&format!(
+        "{RESULT}::Err(::serde::Error::custom(\
+         \"data did not match any variant of untagged enum `{name}`\"))"
+    ));
+    out
+}
