@@ -3,14 +3,19 @@
 //! Every binary accepts the same knobs (all optional):
 //!
 //! ```text
-//! --scale <f64>      dataset scale factor (fraction of the real vertex count)
-//! --adds <usize>     edge additions per batch
-//! --dels <usize>     edge deletions per batch
-//! --batches <usize>  number of batches to stream
-//! --queries <usize>  number of random pairwise queries to average over
-//! --seed <u64>       RNG seed
-//! --full             paper-scale batches (50K + 50K)
+//! --scale <f64>          dataset scale factor (fraction of the real vertex count)
+//! --adds <usize>         edge additions per batch
+//! --dels <usize>         edge deletions per batch
+//! --batches <usize>      number of batches to stream
+//! --queries <usize>      number of random pairwise queries to average over
+//! --seed <u64>           RNG seed
+//! --full                 paper-scale batches (50K + 50K)
+//! --metrics-out <path>   write a cisgraph-obs metrics snapshot (JSON)
+//! --trace-out <path>     write a Chrome trace_event file (implies metrics)
 //! ```
+//!
+//! The observability flags are consumed by
+//! [`ObsSession`](crate::obsout::ObsSession); see `docs/observability.md`.
 
 use std::collections::HashMap;
 
@@ -44,7 +49,7 @@ impl Args {
         let mut iter = args.into_iter().peekable();
         while let Some(arg) = iter.next() {
             let Some(key) = arg.strip_prefix("--") else {
-                eprintln!("warning: ignoring positional argument `{arg}`");
+                cisgraph_obs::log!(warn, "ignoring positional argument `{arg}`");
                 continue;
             };
             match iter.peek() {

@@ -23,24 +23,24 @@ use std::path::PathBuf;
 pub fn write_json<T: Serialize>(name: &str, value: &T) -> Option<PathBuf> {
     let dir = PathBuf::from("target/experiments");
     if let Err(e) = std::fs::create_dir_all(&dir) {
-        eprintln!("warning: cannot create {}: {e}", dir.display());
+        cisgraph_obs::log!(warn, "cannot create {}: {e}", dir.display());
         return None;
     }
     let path = dir.join(format!("{name}.json"));
     let json = match serde_json::to_string_pretty(value) {
         Ok(j) => j,
         Err(e) => {
-            eprintln!("warning: cannot serialize {name}: {e}");
+            cisgraph_obs::log!(warn, "cannot serialize {name}: {e}");
             return None;
         }
     };
     match std::fs::write(&path, json) {
         Ok(()) => {
-            eprintln!("raw results written to {}", path.display());
+            cisgraph_obs::log!(info, "raw results written to {}", path.display());
             Some(path)
         }
         Err(e) => {
-            eprintln!("warning: cannot write {}: {e}", path.display());
+            cisgraph_obs::log!(warn, "cannot write {}: {e}", path.display());
             None
         }
     }

@@ -11,6 +11,8 @@
 //! ```
 
 use cisgraph_algo::{incremental, solver, Counters, MonotonicAlgorithm, Ppsp};
+use cisgraph_bench::args::Args;
+use cisgraph_bench::obsout::ObsSession;
 use cisgraph_bench::Table;
 use cisgraph_graph::{DynamicGraph, GraphView};
 use cisgraph_types::{EdgeUpdate, State, VertexId, Weight};
@@ -66,6 +68,7 @@ fn naive_reuse_after_deletion(g: &DynamicGraph) -> Vec<State> {
 }
 
 fn main() {
+    let obs_session = ObsSession::init(&Args::parse());
     let mut g = fig1_graph();
     let mut counters = Counters::new();
     let mut repaired = solver::best_first::<Ppsp, _>(&g, v(0), &mut counters);
@@ -118,4 +121,5 @@ fn main() {
     assert!(wrong, "the hazard must reproduce");
     assert_eq!(repaired.state(v(4)), fresh.state(v(4)));
     let _ = <Ppsp as MonotonicAlgorithm>::NAME;
+    obs_session.finish();
 }

@@ -16,13 +16,16 @@ use cisgraph_algo::classify::classify_batch_for_query;
 use cisgraph_algo::{solver, Counters, MonotonicAlgorithm, Ppnp, Ppsp, Ppwp, Reach, Viterbi};
 use cisgraph_bench::args::Args;
 use cisgraph_bench::naive::{DeletionPolicy, NaiveIncremental};
+use cisgraph_bench::obsout::ObsSession;
 use cisgraph_bench::{build_workload, RunConfig, Table};
 use cisgraph_datasets::registry;
+use cisgraph_obs as obs;
 use cisgraph_types::{Contribution, UpdateKind};
 use std::collections::HashMap;
 
 fn main() {
     let args = Args::parse();
+    let obs_session = ObsSession::init(&args);
     // `--algo ppsp|ppwp|ppnp|viterbi|reach` selects the algorithm (the
     // paper's Fig. 2 uses the shortest-path workload).
     match args.get_str("algo").unwrap_or("ppsp") {
@@ -32,10 +35,14 @@ fn main() {
         "viterbi" => run::<Viterbi>(&args),
         "reach" => run::<Reach>(&args),
         other => {
-            eprintln!("unknown --algo `{other}` (ppsp|ppwp|ppnp|viterbi|reach)");
+            obs::log!(
+                error,
+                "unknown --algo `{other}` (ppsp|ppwp|ppnp|viterbi|reach)"
+            );
             std::process::exit(2);
         }
     }
+    obs_session.finish();
 }
 
 fn run<A: MonotonicAlgorithm>(args: &Args) {
@@ -53,9 +60,14 @@ fn run<A: MonotonicAlgorithm>(args: &Args) {
         Some("tag") => DeletionPolicy::DependenceTag,
         _ => DeletionPolicy::ReachabilityReset,
     };
-    eprintln!(
+    obs::log!(
+        info,
         "fig2: {} scale {}, {}+{} batch, {} queries",
-        cfg.dataset.name, cfg.scale, cfg.additions, cfg.deletions, cfg.queries
+        cfg.dataset.name,
+        cfg.scale,
+        cfg.additions,
+        cfg.deletions,
+        cfg.queries
     );
     let bundle = build_workload(&cfg);
     let batch = &bundle.batches[0];
@@ -178,7 +190,7 @@ fn pick_dataset(args: &Args) -> cisgraph_datasets::Dataset {
         Some("lj") | Some("livejournal") => registry::livejournal_like(),
         Some("uk") | Some("uk2002") => registry::uk2002_like(),
         Some(other) => {
-            eprintln!("unknown --dataset `{other}` (or|lj|uk)");
+            obs::log!(error, "unknown --dataset `{other}` (or|lj|uk)");
             std::process::exit(2);
         }
     }

@@ -13,15 +13,24 @@
 
 use cisgraph_algo::{MonotonicAlgorithm, Ppnp, Ppsp, Ppwp, Reach, Viterbi};
 use cisgraph_bench::args::Args;
+use cisgraph_bench::obsout::ObsSession;
 use cisgraph_bench::{build_workload, run_engines, EngineSel, RunConfig, Table};
 use cisgraph_datasets::registry;
+use cisgraph_obs as obs;
 
 fn main() {
     let args = Args::parse();
+    let obs_session = ObsSession::init(&args);
     let cfg = RunConfig::default_run(pick_dataset(&args)).with_args(&args);
-    eprintln!(
+    obs::log!(
+        info,
         "fig5b: {} scale {}, {}+{} x {} batches, {} queries",
-        cfg.dataset.name, cfg.scale, cfg.additions, cfg.deletions, cfg.batches, cfg.queries
+        cfg.dataset.name,
+        cfg.scale,
+        cfg.additions,
+        cfg.deletions,
+        cfg.batches,
+        cfg.queries
     );
     let bundle = build_workload(&cfg);
 
@@ -90,6 +99,7 @@ fn main() {
         "Paper: additions activate ~2.92x the vertices deletions do on average\n\
          (Viterbi activates more on deletions)."
     );
+    obs_session.finish();
 }
 
 /// Picks the dataset stand-in from `--dataset or|lj|uk` (default OR).
@@ -103,7 +113,7 @@ fn pick_dataset(args: &Args) -> cisgraph_datasets::Dataset {
         Some("lj") | Some("livejournal") => registry::livejournal_like(),
         Some("uk") | Some("uk2002") => registry::uk2002_like(),
         Some(other) => {
-            eprintln!("unknown --dataset `{other}` (or|lj|uk)");
+            obs::log!(error, "unknown --dataset `{other}` (or|lj|uk)");
             std::process::exit(2);
         }
     }

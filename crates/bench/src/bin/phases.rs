@@ -9,16 +9,25 @@
 
 use cisgraph_algo::{MonotonicAlgorithm, Ppnp, Ppsp, Ppwp, Reach, Viterbi};
 use cisgraph_bench::args::Args;
+use cisgraph_bench::obsout::ObsSession;
 use cisgraph_bench::{build_workload, RunConfig, Table};
 use cisgraph_core::CisGraphAccel;
 use cisgraph_datasets::registry;
+use cisgraph_obs as obs;
 
 fn main() {
     let args = Args::parse();
+    let obs_session = ObsSession::init(&args);
     let cfg = RunConfig::default_run(registry::orkut_like()).with_args(&args);
-    eprintln!(
+    obs::log!(
+        info,
         "phases: {} scale {}, {}+{} x {} batches, {} queries",
-        cfg.dataset.name, cfg.scale, cfg.additions, cfg.deletions, cfg.batches, cfg.queries
+        cfg.dataset.name,
+        cfg.scale,
+        cfg.additions,
+        cfg.deletions,
+        cfg.batches,
+        cfg.queries
     );
     let bundle = build_workload(&cfg);
 
@@ -78,4 +87,5 @@ fn main() {
          'Response'; work after it (delayed drain) overlaps the next batch's\n\
          gathering in real hardware."
     );
+    obs_session.finish();
 }

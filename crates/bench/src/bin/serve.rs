@@ -22,10 +22,12 @@
 
 use cisgraph_algo::Ppsp;
 use cisgraph_bench::args::Args;
+use cisgraph_bench::obsout::ObsSession;
 use cisgraph_bench::table::fmt_speedup;
 use cisgraph_bench::{artifacts, build_workload, RunConfig, Table};
 use cisgraph_datasets::registry;
 use cisgraph_engines::{QueryServer, ServeConfig};
+use cisgraph_obs as obs;
 use serde::Serialize;
 use std::time::Duration;
 
@@ -42,6 +44,7 @@ struct Cell {
     speedup_vs_one_thread: f64,
     response_p50_us: f64,
     response_p95_us: f64,
+    response_p99_us: f64,
     response_max_us: f64,
 }
 
@@ -84,6 +87,7 @@ fn serve(
         tail = vec![
             report.response_p50,
             report.response_p95,
+            report.response_p99,
             report.response_max,
         ];
     }
@@ -93,6 +97,7 @@ fn serve(
 
 fn main() {
     let args = Args::parse();
+    let obs_session = ObsSession::init(&args);
     let max_threads = args.get_usize("threads").unwrap_or_else(|| {
         std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
@@ -106,12 +111,14 @@ fn main() {
         None => vec![args.get_usize("queries").unwrap_or(64)],
     };
 
-    eprintln!(
+    obs::log!(
+        info,
         "serve sweep: queries {query_counts:?} x threads {:?} (host parallelism {})",
         thread_sweep(max_threads),
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
     );
 
+    let mut last_bundle: Option<cisgraph_bench::WorkloadBundle> = None;
     let mut table = Table::new(
         [
             "queries",
@@ -122,6 +129,7 @@ fn main() {
             "speedup",
             "p50 us",
             "p95 us",
+            "p99 us",
             "max us",
         ]
         .map(String::from)
@@ -136,6 +144,9 @@ fn main() {
             .with_args(&args);
         let bundle = build_workload(&cfg);
         let served = num_queries * bundle.batches.len();
+        if obs_session.active() {
+            last_bundle = Some(bundle.clone());
+        }
 
         let mut baseline_qps = 0.0;
         let mut baseline_answers = String::new();
@@ -163,6 +174,7 @@ fn main() {
                 format!("{:.1}", tail[0].as_secs_f64() * 1e6),
                 format!("{:.1}", tail[1].as_secs_f64() * 1e6),
                 format!("{:.1}", tail[2].as_secs_f64() * 1e6),
+                format!("{:.1}", tail[3].as_secs_f64() * 1e6),
             ]);
             cells.push(Cell {
                 queries: num_queries,
@@ -175,7 +187,8 @@ fn main() {
                 speedup_vs_one_thread: speedup,
                 response_p50_us: tail[0].as_secs_f64() * 1e6,
                 response_p95_us: tail[1].as_secs_f64() * 1e6,
-                response_max_us: tail[2].as_secs_f64() * 1e6,
+                response_p99_us: tail[2].as_secs_f64() * 1e6,
+                response_max_us: tail[3].as_secs_f64() * 1e6,
             });
         }
     }
@@ -193,7 +206,23 @@ fn main() {
             fmt_speedup(best)
         );
     }
-    if let Some(path) = artifacts::write_json("serve", &cells) {
-        eprintln!("wrote {}", path.display());
+    artifacts::write_json("serve", &cells);
+    // Shadow accelerator pass (instrumented runs only, after all timing):
+    // replays the stream through the cycle-level model for one standing
+    // query, so the metrics snapshot also carries the simulator's DRAM and
+    // scratchpad gauges alongside the serving-layer metrics.
+    if let Some(bundle) = &last_bundle {
+        obs::log!(info, "shadow accelerator pass for simulator gauges");
+        let mut graph = bundle.initial.clone();
+        let mut accel = cisgraph_core::CisGraphAccel::<Ppsp>::new(
+            &graph,
+            bundle.queries[0],
+            cisgraph_core::AcceleratorConfig::date2025(),
+        );
+        for batch in &bundle.batches {
+            graph.apply_batch(batch).expect("consistent workload");
+            accel.process_batch(&graph, batch);
+        }
     }
+    obs_session.finish();
 }

@@ -11,15 +11,24 @@
 
 use cisgraph_algo::Ppsp;
 use cisgraph_bench::args::Args;
+use cisgraph_bench::obsout::ObsSession;
 use cisgraph_bench::{build_workload, run_engine, EngineSel, RunConfig, Table};
 use cisgraph_datasets::registry;
+use cisgraph_obs as obs;
 
 fn main() {
     let args = Args::parse();
+    let obs_session = ObsSession::init(&args);
     let base = RunConfig::default_run(registry::orkut_like()).with_args(&args);
-    eprintln!(
+    obs::log!(
+        info,
         "sweep: {} scale {}, {}+{} x {} batches, {} queries",
-        base.dataset.name, base.scale, base.additions, base.deletions, base.batches, base.queries
+        base.dataset.name,
+        base.scale,
+        base.additions,
+        base.deletions,
+        base.batches,
+        base.queries
     );
     let bundle = build_workload(&base);
 
@@ -111,4 +120,5 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
+    obs_session.finish();
 }

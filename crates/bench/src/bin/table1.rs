@@ -4,10 +4,13 @@
 //! software platform note, regenerated from the live configuration structs
 //! so the table can never drift from the code.
 
+use cisgraph_bench::args::Args;
+use cisgraph_bench::obsout::ObsSession;
 use cisgraph_bench::Table;
 use cisgraph_core::AcceleratorConfig;
 
 fn main() {
+    let obs_session = ObsSession::init(&Args::parse());
     let accel = AcceleratorConfig::date2025();
     let spm = accel.spm;
     let dram = accel.dram;
@@ -63,4 +66,5 @@ fn main() {
         "Software engines (CS, SGraph, PnP, CISGraph-O) run natively on this host;\n\
          the accelerator column is the cycle-level model in cisgraph-core."
     );
+    obs_session.finish();
 }

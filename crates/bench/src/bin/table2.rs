@@ -5,6 +5,8 @@
 //! implementations so the table is guaranteed to match the code.
 
 use cisgraph_algo::{MonotonicAlgorithm, Ppnp, Ppsp, Ppwp, Reach, Viterbi};
+use cisgraph_bench::args::Args;
+use cisgraph_bench::obsout::ObsSession;
 use cisgraph_bench::Table;
 use cisgraph_types::{State, Weight};
 
@@ -24,6 +26,7 @@ fn demo<A: MonotonicAlgorithm>(oplus: &str, otimes: &str, t: &mut Table) {
 }
 
 fn main() {
+    let obs_session = ObsSession::init(&Args::parse());
     let mut t = Table::new(vec![
         "Algorithm".into(),
         "⊕".into(),
@@ -43,4 +46,5 @@ fn main() {
         "Viterbi weights are inverse transition probabilities (w = 1/p >= 1),\n\
          so T = u.state / w accumulates the path probability, per DESIGN.md."
     );
+    obs_session.finish();
 }

@@ -6,12 +6,14 @@
 //! ```
 
 use cisgraph_bench::args::Args;
+use cisgraph_bench::obsout::ObsSession;
 use cisgraph_bench::Table;
 use cisgraph_datasets::registry;
 use cisgraph_graph::{degree_stats, DynamicGraph};
 
 fn main() {
     let args = Args::parse();
+    let obs_session = ObsSession::init(&args);
     let scale = args.get_f64("scale").unwrap_or(0.01);
     let seed = args.get_u64("seed").unwrap_or(42);
 
@@ -49,4 +51,5 @@ fn main() {
         "Stand-ins preserve average degree and power-law skew; see DESIGN.md §2\n\
          for the substitution rationale. Pass --scale to change the size."
     );
+    obs_session.finish();
 }

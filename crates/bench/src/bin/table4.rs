@@ -14,16 +14,19 @@
 
 use cisgraph_algo::{MonotonicAlgorithm, Ppnp, Ppsp, Ppwp, Reach, Viterbi};
 use cisgraph_bench::args::Args;
+use cisgraph_bench::obsout::ObsSession;
 use cisgraph_bench::table::{fmt_speedup, geometric_mean};
 use cisgraph_bench::{build_workload, run_engines, AlgoResults, EngineSel, RunConfig, Table};
 use cisgraph_datasets::registry;
+use cisgraph_obs as obs;
 
 fn run_for<A: MonotonicAlgorithm>(args: &Args) -> Vec<AlgoResults> {
     registry::all()
         .into_iter()
         .map(|ds| {
             let cfg = RunConfig::default_run(ds).with_args(args);
-            eprintln!(
+            obs::log!(
+                info,
                 "  [{} / {}] scale {}, {}+{} x {} batches, {} queries ...",
                 A::NAME,
                 cfg.dataset.abbrev,
@@ -56,6 +59,7 @@ fn emit(table: &mut Table, algo: &str, per_dataset: &[AlgoResults], engine: &'st
 
 fn main() {
     let args = Args::parse();
+    let obs_session = ObsSession::init(&args);
     // `--algo ppsp|ppwp|ppnp|viterbi|reach` restricts the run (default: all).
     let only = args.get_str("algo").map(str::to_ascii_lowercase);
     let wants = |name: &str| only.as_deref().is_none_or(|a| a == name);
@@ -110,4 +114,5 @@ fn main() {
     );
 
     cisgraph_bench::artifacts::write_json("table4", &json);
+    obs_session.finish();
 }

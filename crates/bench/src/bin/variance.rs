@@ -13,9 +13,11 @@
 
 use cisgraph_algo::Ppsp;
 use cisgraph_bench::args::Args;
+use cisgraph_bench::obsout::ObsSession;
 use cisgraph_bench::table::fmt_speedup;
 use cisgraph_bench::{build_workload, EngineSel, RunConfig, Table, WorkloadBundle};
 use cisgraph_datasets::registry;
+use cisgraph_obs as obs;
 use cisgraph_types::PairQuery;
 
 /// The explicit engine selection of this study: Cold-Start is the
@@ -46,13 +48,20 @@ fn response_seconds(
 
 fn main() {
     let args = Args::parse();
+    let obs_session = ObsSession::init(&args);
     let cfg = RunConfig::builder(registry::orkut_like())
         .queries(10)
         .build()
         .with_args(&args);
-    eprintln!(
+    obs::log!(
+        info,
         "variance: {} scale {}, {}+{} x {} batches, {} queries (PPSP)",
-        cfg.dataset.name, cfg.scale, cfg.additions, cfg.deletions, cfg.batches, cfg.queries
+        cfg.dataset.name,
+        cfg.scale,
+        cfg.additions,
+        cfg.deletions,
+        cfg.batches,
+        cfg.queries
     );
     let bundle = build_workload(&cfg);
 
@@ -80,6 +89,21 @@ fn main() {
         (min, max, max / min.max(1e-12))
     };
     let spreads: Vec<_> = speedups.iter().map(|xs| spread(xs)).collect();
+    // Median through the one shared nearest-rank implementation — the same
+    // code path the serving layer's percentiles use (cisgraph-obs).
+    let medians: Vec<f64> = speedups
+        .iter()
+        .map(|xs| {
+            let mut sorted = xs.clone();
+            sorted.sort_by(f64::total_cmp);
+            obs::percentile_f64(&sorted, 0.50).unwrap_or(0.0)
+        })
+        .collect();
+    table.row(
+        std::iter::once("P50".to_string())
+            .chain(medians.iter().map(|m| fmt_speedup(*m)))
+            .collect(),
+    );
     table.row(
         std::iter::once("MIN..MAX".to_string())
             .chain(
@@ -106,4 +130,5 @@ fn main() {
          activates every vertex; contribution-driven identification is\n\
          consistent across queries."
     );
+    obs_session.finish();
 }

@@ -355,6 +355,7 @@ pub struct WorkloadBundle {
 /// Panics if the configuration cannot produce even one batch (dataset too
 /// small for the requested batch sizes).
 pub fn build_workload(cfg: &RunConfig) -> WorkloadBundle {
+    let _span = cisgraph_obs::span("bench.build_workload");
     let edges = match &cfg.edges_file {
         Some(path) => {
             let file = std::fs::File::open(path)
@@ -440,6 +441,7 @@ pub fn run_engine<A: MonotonicAlgorithm>(
     sel: EngineSel,
     check: Option<&[Vec<cisgraph_types::State>]>,
 ) -> EngineResult {
+    let _span = cisgraph_obs::span(&format!("bench.engine.{}", sel.name()));
     let mut response = 0.0f64;
     let mut total = 0.0f64;
     let mut counters = Counters::new();
@@ -583,6 +585,7 @@ pub fn run_engine<A: MonotonicAlgorithm>(
 pub fn reference_answers<A: MonotonicAlgorithm>(
     bundle: &WorkloadBundle,
 ) -> Vec<Vec<cisgraph_types::State>> {
+    let _span = cisgraph_obs::span("bench.reference_answers");
     let per_query = |query: PairQuery| {
         let mut graph = bundle.initial.clone();
         let mut cs = ColdStart::<A>::new(query);

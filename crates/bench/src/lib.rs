@@ -17,6 +17,7 @@ pub mod args;
 pub mod artifacts;
 pub mod experiment;
 pub mod naive;
+pub mod obsout;
 pub mod table;
 
 pub use experiment::{

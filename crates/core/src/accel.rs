@@ -296,8 +296,31 @@ pub(crate) fn simulate_batch<A: MonotonicAlgorithm>(
             response: response_cycles,
             drain_done: total_cycles,
         };
+        obs_record_accel(&report, mem);
         report
     }
+}
+
+/// Publishes one simulated batch to the [`cisgraph_obs`] registry:
+/// classification counters, simulated response/total cycle histograms, and
+/// the memory hierarchy's gauges (via [`MemorySystem::publish_obs`]).
+/// No-op unless instrumentation is enabled.
+fn obs_record_accel(report: &AccelReport, mem: &MemorySystem) {
+    if !cisgraph_obs::enabled() {
+        return;
+    }
+    cisgraph_obs::counter("accel.batches").inc();
+    cisgraph_obs::counter("accel.computations").add(report.counters.computations);
+    cisgraph_obs::counter("accel.updates_dropped").add(report.counters.updates_dropped);
+    let c = &report.classification;
+    cisgraph_obs::counter("accel.class.valuable_additions").add(c.valuable_additions as u64);
+    cisgraph_obs::counter("accel.class.useless_additions").add(c.useless_additions as u64);
+    cisgraph_obs::counter("accel.class.valuable_deletions").add(c.valuable_deletions as u64);
+    cisgraph_obs::counter("accel.class.delayed_deletions").add(c.delayed_deletions as u64);
+    cisgraph_obs::counter("accel.class.useless_deletions").add(c.useless_deletions as u64);
+    cisgraph_obs::histogram("accel.response_cycles").record(report.response_cycles);
+    cisgraph_obs::histogram("accel.total_cycles").record(report.total_cycles);
+    mem.publish_obs();
 }
 
 impl<A: MonotonicAlgorithm> cisgraph_engines::StreamingEngine<A> for CisGraphAccel<A> {

@@ -64,6 +64,7 @@ impl<A: MonotonicAlgorithm> StreamingEngine<A> for CisGraphO<A> {
         let mut summary = ClassificationSummary::default();
         self.result.grow(graph.num_vertices());
 
+        let phase_additions = cisgraph_obs::span("ciso.additions");
         // Phase 1a: identify + propagate valuable additions (additions
         // stream first per the §IV-A fairness rule, and their
         // identification sees the pre-batch converged states).
@@ -90,7 +91,9 @@ impl<A: MonotonicAlgorithm> StreamingEngine<A> for CisGraphO<A> {
             .zip(&states_after_adds)
             .filter(|(a, b)| a != b)
             .count() as u64;
+        drop(phase_additions);
 
+        let phase_deletions = cisgraph_obs::span("ciso.deletions");
         // Dependence links of every deletion in the batch: required by
         // repair tagging so subtrees hanging off not-yet-processed
         // deletions are reset too.
@@ -150,6 +153,8 @@ impl<A: MonotonicAlgorithm> StreamingEngine<A> for CisGraphO<A> {
             delayed = rest;
         }
 
+        drop(phase_deletions);
+
         // Phase 3: respond.
         let answer = self.result.state(self.query.destination());
         let response_time = start.elapsed();
@@ -161,9 +166,11 @@ impl<A: MonotonicAlgorithm> StreamingEngine<A> for CisGraphO<A> {
             .count() as u64;
 
         // Phase 4: drain delayed deletions for future correctness.
+        let phase_drain = cisgraph_obs::span("ciso.drain");
         for del in delayed {
             incremental::apply_deletion_with(graph, &mut self.result, del, &pending, &mut counters);
         }
+        drop(phase_drain);
         let drain_activations = states_at_response
             .iter()
             .zip(self.result.states())
@@ -179,6 +186,7 @@ impl<A: MonotonicAlgorithm> StreamingEngine<A> for CisGraphO<A> {
         report.deletion_activations = deletion_activations;
         report.drain_activations = drain_activations;
         report.classification = Some(summary);
+        crate::engine::obs_record_batch(self.name(), &report);
         report
     }
 

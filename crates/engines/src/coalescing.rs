@@ -93,6 +93,7 @@ impl<A: MonotonicAlgorithm> StreamingEngine<A> for Coalescing<A> {
         report.response_time = elapsed;
         report.total_time = elapsed;
         report.counters = counters;
+        crate::engine::obs_record_batch(self.name(), &report);
         report
     }
 

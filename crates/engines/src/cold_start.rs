@@ -72,6 +72,7 @@ impl<A: MonotonicAlgorithm> StreamingEngine<A> for ColdStart<A> {
         report.response_time = elapsed;
         report.total_time = elapsed;
         report.counters = counters;
+        crate::engine::obs_record_batch(self.name(), &report);
         report
     }
 

@@ -132,6 +132,39 @@ impl DerefMut for BatchReport {
     }
 }
 
+/// Records one engine's per-batch outcome into the global
+/// [`cisgraph_obs`] sink: batch/computation/drop counters, response and
+/// total-time histograms, and — for classifying engines — the Algorithm 1
+/// outcome counters (`engine.<name>.class.*`). One relaxed load when the
+/// sink is disabled.
+///
+/// Every [`StreamingEngine::process_batch`] implementation calls this on
+/// its way out, so the whole engine zoo is attributable with one switch.
+pub(crate) fn obs_record_batch(name: &str, report: &BatchReport) {
+    if !cisgraph_obs::enabled() {
+        return;
+    }
+    let prefix = format!("engine.{name}");
+    cisgraph_obs::counter(&format!("{prefix}.batches")).inc();
+    cisgraph_obs::counter(&format!("{prefix}.computations")).add(report.counters.computations);
+    cisgraph_obs::counter(&format!("{prefix}.updates_dropped"))
+        .add(report.counters.updates_dropped);
+    cisgraph_obs::histogram(&format!("{prefix}.response_ns")).record_duration(report.response_time);
+    cisgraph_obs::histogram(&format!("{prefix}.total_ns")).record_duration(report.total_time);
+    if let Some(c) = &report.classification {
+        cisgraph_obs::counter(&format!("{prefix}.class.valuable_additions"))
+            .add(c.valuable_additions as u64);
+        cisgraph_obs::counter(&format!("{prefix}.class.useless_additions"))
+            .add(c.useless_additions as u64);
+        cisgraph_obs::counter(&format!("{prefix}.class.valuable_deletions"))
+            .add(c.valuable_deletions as u64);
+        cisgraph_obs::counter(&format!("{prefix}.class.delayed_deletions"))
+            .add(c.delayed_deletions as u64);
+        cisgraph_obs::counter(&format!("{prefix}.class.useless_deletions"))
+            .add(c.useless_deletions as u64);
+    }
+}
+
 /// A software engine answering one standing pairwise query over a stream of
 /// update batches.
 ///

@@ -259,7 +259,11 @@ impl<A: MonotonicAlgorithm> MultiQuery<A> {
         let pending = incremental::PendingDeletions::from_batch(batch.iter().copied());
         self.groups
             .iter_mut()
-            .map(|group| Self::process_group(group, graph, batch, &pending))
+            .map(|group| {
+                let report = Self::process_group(group, graph, batch, &pending);
+                crate::engine::obs_record_batch("MultiQuery", &report);
+                report
+            })
             .collect()
     }
 

@@ -17,8 +17,12 @@
 //!
 //! Per-shard, per-group [`BatchReport`]s are merged into one
 //! [`ServeReport`]: summed ⊕/⊗ work and classification, a response-time
-//! distribution (p50 / p95 / max across source groups), the batch
+//! distribution (p50 / p95 / p99 / max across source groups), the batch
 //! wall-clock, and every standing query's answer.
+//!
+//! When [`cisgraph_obs`] instrumentation is enabled, each served batch also
+//! publishes fan-out latency, per-query response-time histograms, and
+//! per-shard queue-depth gauges (see `docs/observability.md`).
 
 use crate::{BatchReport, MultiQuery, ReportCore};
 use cisgraph_algo::classify::ClassificationSummary;
@@ -87,6 +91,8 @@ pub struct ServeReport {
     pub response_p50: Duration,
     /// 95th-percentile per-group response time.
     pub response_p95: Duration,
+    /// 99th-percentile per-group response time.
+    pub response_p99: Duration,
     /// Worst per-group response time.
     pub response_max: Duration,
     /// Summed work across every group: ⊕/⊗ counters, activations, and
@@ -250,6 +256,7 @@ impl<A: MonotonicAlgorithm> QueryServer<A> {
     ///
     /// Panics if a worker thread panics.
     pub fn process_batch(&mut self, batch: &[EdgeUpdate]) -> Result<ServeReport, GraphError> {
+        let _span = cisgraph_obs::span("serve.batch");
         self.graph.apply_batch(batch)?;
         let view = self.graph.graph();
         let shards = &mut self.shards;
@@ -266,10 +273,33 @@ impl<A: MonotonicAlgorithm> QueryServer<A> {
         })
         .expect("thread scope");
         let wall_time = start.elapsed();
-        Ok(self.merge(per_shard, wall_time))
+        let report = self.merge(&per_shard, wall_time);
+        self.record_obs(&per_shard, &report);
+        Ok(report)
     }
 
-    fn merge(&self, per_shard: Vec<Vec<BatchReport>>, wall_time: Duration) -> ServeReport {
+    /// Publishes serving metrics to the [`cisgraph_obs`] registry: the
+    /// fan-out latency and per-query response-time histograms, plus
+    /// per-shard queue depth (group count) gauges and response-time
+    /// histograms. No-op unless instrumentation is enabled.
+    fn record_obs(&self, per_shard: &[Vec<BatchReport>], report: &ServeReport) {
+        if !cisgraph_obs::enabled() {
+            return;
+        }
+        cisgraph_obs::counter("serve.batches").inc();
+        cisgraph_obs::counter("serve.queries").add(report.queries as u64);
+        cisgraph_obs::histogram("serve.fanout_ns").record_duration(report.wall_time);
+        for (i, shard) in per_shard.iter().enumerate() {
+            cisgraph_obs::gauge(&format!("serve.shard.{i}.groups")).set(shard.len() as u64);
+            let hist = cisgraph_obs::histogram(&format!("serve.shard.{i}.response_ns"));
+            for r in shard {
+                hist.record_duration(r.response_time);
+                cisgraph_obs::histogram("serve.response_ns").record_duration(r.response_time);
+            }
+        }
+    }
+
+    fn merge(&self, per_shard: &[Vec<BatchReport>], wall_time: Duration) -> ServeReport {
         let answers = self.answers();
         let first = answers
             .first()
@@ -293,6 +323,7 @@ impl<A: MonotonicAlgorithm> QueryServer<A> {
             wall_time,
             response_p50: percentile(&responses, 0.50),
             response_p95: percentile(&responses, 0.95),
+            response_p99: percentile(&responses, 0.99),
             response_max: responses.last().copied().unwrap_or(Duration::ZERO),
             work,
             classification,
@@ -301,13 +332,11 @@ impl<A: MonotonicAlgorithm> QueryServer<A> {
     }
 }
 
-/// Nearest-rank percentile of an ascending-sorted sample.
+/// Nearest-rank percentile of an ascending-sorted sample. Thin wrapper over
+/// the single shared implementation in [`cisgraph_obs::percentile`], so the
+/// serving layer and the bench variance harness agree bit-for-bit.
 fn percentile(sorted: &[Duration], p: f64) -> Duration {
-    if sorted.is_empty() {
-        return Duration::ZERO;
-    }
-    let rank = (p * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
+    cisgraph_obs::percentile(sorted, p).unwrap_or(Duration::ZERO)
 }
 
 #[cfg(test)]
@@ -420,7 +449,8 @@ mod tests {
             assert!(r.shards <= 4);
             assert!(r.groups >= r.shards);
             assert!(r.response_p50 <= r.response_p95);
-            assert!(r.response_p95 <= r.response_max);
+            assert!(r.response_p95 <= r.response_p99);
+            assert!(r.response_p99 <= r.response_max);
             assert!(r.work.total_time >= r.work.response_time);
             assert!(r.throughput() > 0.0);
             assert!(r.parallel_speedup() > 0.0);

@@ -269,6 +269,7 @@ impl<A: MonotonicAlgorithm> StreamingEngine<A> for SGraph<A> {
         report.response_time = query_start.elapsed();
         report.total_time = start.elapsed();
         report.counters = counters;
+        crate::engine::obs_record_batch(self.name(), &report);
         report
     }
 

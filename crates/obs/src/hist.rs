@@ -1,0 +1,308 @@
+//! Fixed-bucket log2 histograms and the shared nearest-rank percentile.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Bucket count of every [`Histogram`]: bucket 0 holds the value `0`,
+/// bucket `i >= 1` holds values in `[2^(i-1), 2^i)`, so bucket boundaries
+/// are exact at powers of two and `u64::MAX` lands in bucket 64.
+pub const NUM_BUCKETS: usize = 65;
+
+/// The bucket a value falls into (`0` for `0`, else `64 - leading_zeros`).
+#[inline]
+fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of a bucket, used as the percentile
+/// representative (clamped by the exact recorded maximum).
+fn bucket_upper(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+/// A concurrent log2 latency histogram.
+///
+/// Recording is one relaxed `fetch_add` per bucket plus a relaxed
+/// `fetch_max` for the exact maximum; like every hook in this crate it is a
+/// no-op while the global sink is disabled. Values are whatever unit the
+/// call site uses (the convention in this workspace: nanoseconds for wall
+/// time, cycles for simulated time — the metric name says which).
+///
+/// # Examples
+///
+/// ```
+/// use cisgraph_obs::Histogram;
+///
+/// let h = Histogram::default();
+/// cisgraph_obs::enable();
+/// for v in 1..=100 {
+///     h.record(v);
+/// }
+/// let s = h.snapshot();
+/// assert_eq!(s.count, 100);
+/// assert_eq!(s.max, 100);
+/// assert!(s.p50() <= s.p95() && s.p95() <= s.p99() && s.p99() <= s.max);
+/// ```
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: [(); NUM_BUCKETS].map(|()| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one value (no-op while the sink is disabled).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.record_unconditional(value);
+    }
+
+    /// Records one value regardless of the global sink state (tests, and
+    /// call sites that already checked [`crate::enabled`]).
+    pub fn record_unconditional(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a wall-time duration as nanoseconds (saturating at
+    /// `u64::MAX`, ~584 years).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// A point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned, non-atomic copy of a [`Histogram`], with the percentile and
+/// merge math.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts (see [`NUM_BUCKETS`] for the bucket layout).
+    pub buckets: [u64; NUM_BUCKETS],
+    /// Total recorded samples.
+    pub count: u64,
+    /// Sum of all recorded values (wrapping on overflow).
+    pub sum: u64,
+    /// Exact maximum recorded value (`0` when empty).
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Mean of the recorded values (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank quantile over the bucketed distribution: the inclusive
+    /// upper bound of the bucket holding the rank-`⌈p·n⌉` sample, clamped
+    /// by the exact maximum. Monotone in `p`; `0` when empty.
+    pub fn quantile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (bucket-resolution nearest rank).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile (bucket-resolution nearest rank).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile (bucket-resolution nearest rank).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Folds another snapshot in; the result equals recording both input
+    /// streams into one histogram (the property tests pin this down).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample: the smallest
+/// element whose rank is at least `⌈p·n⌉`. This is the *exact* percentile
+/// path — [`HistogramSnapshot::quantile`] is its bucket-resolution
+/// counterpart — and the single implementation the serving layer and the
+/// bench binaries share. `None` on an empty sample.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+///
+/// let ms: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+/// assert_eq!(cisgraph_obs::percentile(&ms, 0.50), Some(Duration::from_millis(50)));
+/// assert_eq!(cisgraph_obs::percentile(&ms, 0.95), Some(Duration::from_millis(95)));
+/// assert_eq!(cisgraph_obs::percentile::<u32>(&[], 0.5), None);
+/// ```
+pub fn percentile<T: Copy>(sorted: &[T], p: f64) -> Option<T> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let rank = (p * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.clamp(1, sorted.len()) - 1])
+}
+
+/// [`percentile`] for `f64` samples (which are not `Ord`); the slice must
+/// be ascending-sorted, e.g. via `sort_by(f64::total_cmp)`.
+pub fn percentile_f64(sorted: &[f64], p: f64) -> Option<f64> {
+    percentile(sorted, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        for k in 1..63 {
+            let p = 1u64 << k;
+            assert_eq!(
+                bucket_index(p),
+                bucket_index(p - 1) + 1,
+                "2^{k} must start a new bucket"
+            );
+            assert_eq!(bucket_index(p), bucket_index(2 * p - 1));
+        }
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_clamped() {
+        let h = Histogram::default();
+        for v in [3u64, 5, 9, 1000, 1000000] {
+            h.record_unconditional(v);
+        }
+        let s = h.snapshot();
+        assert!(s.p50() <= s.p95());
+        assert!(s.p95() <= s.p99());
+        assert!(s.p99() <= s.max);
+        assert_eq!(s.quantile(1.0), s.max, "p100 is the exact max");
+        assert_eq!(s.count, 5);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = HistogramSnapshot::default();
+        assert_eq!((s.p50(), s.p95(), s.p99(), s.max), (0, 0, 0, 0));
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_matches_concatenation_on_fixed_sample() {
+        let (a, b, all) = (
+            Histogram::default(),
+            Histogram::default(),
+            Histogram::default(),
+        );
+        for v in [1u64, 2, 3, 100] {
+            a.record_unconditional(v);
+            all.record_unconditional(v);
+        }
+        for v in [7u64, 65536, 0] {
+            b.record_unconditional(v);
+            all.record_unconditional(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+    }
+
+    /// Pins the shared nearest-rank implementation to the exact outputs the
+    /// serving layer's bespoke percentile produced before the dedup, on the
+    /// same fixed sample its unit test used.
+    #[test]
+    fn percentile_regression_fixed_sample() {
+        use std::time::Duration;
+        let ms: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&ms, 0.50), Some(Duration::from_millis(50)));
+        assert_eq!(percentile(&ms, 0.95), Some(Duration::from_millis(95)));
+        assert_eq!(percentile(&ms, 0.99), Some(Duration::from_millis(99)));
+        assert_eq!(percentile(&ms, 1.0), Some(Duration::from_millis(100)));
+        assert_eq!(percentile::<Duration>(&[], 0.5), None);
+        assert_eq!(
+            percentile(&[Duration::from_millis(7)], 0.5),
+            Some(Duration::from_millis(7))
+        );
+        // The f64 path agrees rank-for-rank with the ordered path.
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile_f64(&xs, 0.50), Some(50.0));
+        assert_eq!(percentile_f64(&xs, 0.95), Some(95.0));
+    }
+
+    #[test]
+    fn duration_recording_uses_nanos() {
+        let h = Histogram::default();
+        crate::enable();
+        h.record_duration(Duration::from_micros(3));
+        assert_eq!(h.snapshot().max, 3000);
+    }
+}

@@ -1,0 +1,121 @@
+//! Leveled stderr logging gated by the `CISGRAPH_LOG` environment variable.
+//!
+//! The bench binaries keep stdout machine-parseable (tables, JSON) and used
+//! to push progress lines to stderr unconditionally; the [`log!`](crate::log!)
+//! macro routes them through one gate instead. `CISGRAPH_LOG` accepts
+//! `off`, `error`, `warn`, `info`, or `debug`; unset means `error`, so
+//! genuine usage errors still surface while progress chatter is opt-in.
+
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unusable input or lost output — always shown unless `off`.
+    Error = 1,
+    /// Degraded but continuing (ignored argument, unwritable artifact).
+    Warn = 2,
+    /// Progress and configuration echo (the old `eprintln!` chatter).
+    Info = 3,
+    /// High-volume diagnostics.
+    Debug = 4,
+}
+
+impl Level {
+    fn label(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// The threshold parsed from `CISGRAPH_LOG` (cached on first use;
+/// `0` = off).
+fn threshold() -> u8 {
+    static THRESHOLD: OnceLock<u8> = OnceLock::new();
+    *THRESHOLD.get_or_init(|| {
+        match std::env::var("CISGRAPH_LOG").as_deref() {
+            Ok("off") | Ok("0") | Ok("none") => 0,
+            Ok("error") | Ok("1") => 1,
+            Ok("warn") | Ok("2") => 2,
+            Ok("info") | Ok("3") => 3,
+            Ok("debug") | Ok("4") => 4,
+            // Unset or unrecognized: errors only.
+            _ => 1,
+        }
+    })
+}
+
+/// Whether messages at `level` currently print.
+///
+/// # Examples
+///
+/// ```
+/// use cisgraph_obs::Level;
+///
+/// // With CISGRAPH_LOG unset, only errors pass.
+/// let _ = cisgraph_obs::log_enabled(Level::Info);
+/// ```
+#[inline]
+pub fn log_enabled(level: Level) -> bool {
+    (level as u8) <= threshold()
+}
+
+/// Prints one leveled line to stderr (the [`log!`](crate::log!) macro's
+/// backend; call sites should prefer the macro).
+pub fn log_message(level: Level, args: fmt::Arguments<'_>) {
+    if log_enabled(level) {
+        eprintln!("[cisgraph {}] {}", level.label(), args);
+    }
+}
+
+/// Logs a formatted line to stderr at the given level, gated by
+/// `CISGRAPH_LOG` (default: errors only).
+///
+/// ```
+/// use cisgraph_obs as obs;
+///
+/// obs::log!(info, "loaded {} edges", 123);
+/// obs::log!(warn, "ignoring `{}`", "--bogus");
+/// ```
+#[macro_export]
+macro_rules! log {
+    (error, $($arg:tt)*) => { $crate::log_message($crate::Level::Error, format_args!($($arg)*)) };
+    (warn,  $($arg:tt)*) => { $crate::log_message($crate::Level::Warn,  format_args!($($arg)*)) };
+    (info,  $($arg:tt)*) => { $crate::log_message($crate::Level::Info,  format_args!($($arg)*)) };
+    (debug, $($arg:tt)*) => { $crate::log_message($crate::Level::Debug, format_args!($($arg)*)) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+
+    #[test]
+    fn default_threshold_is_error_only() {
+        // The test process does not set CISGRAPH_LOG (and must not: the
+        // threshold caches on first read, process-wide).
+        if std::env::var("CISGRAPH_LOG").is_err() {
+            assert!(log_enabled(Level::Error));
+            assert!(!log_enabled(Level::Info));
+        }
+    }
+
+    #[test]
+    fn macro_compiles_at_every_level() {
+        crate::log!(error, "e {}", 1);
+        crate::log!(warn, "w");
+        crate::log!(info, "i");
+        crate::log!(debug, "d");
+    }
+}

@@ -1,0 +1,204 @@
+//! The sharded global metric registry.
+//!
+//! Metrics are interned by name into one of [`NUM_SHARDS`] mutex-guarded
+//! maps (sharded by a name hash, so concurrent registration from worker
+//! threads does not serialize on one lock). Interning hands back a
+//! `&'static` handle — hot paths resolve a name once and then touch only
+//! relaxed atomics; the mutex is never on a per-record path.
+
+use crate::hist::Histogram;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Lock shards of the registry (a power of two; the shard is picked by
+/// name hash).
+const NUM_SHARDS: usize = 16;
+
+/// A named monotonic counter.
+///
+/// # Examples
+///
+/// ```
+/// cisgraph_obs::enable();
+/// let c = cisgraph_obs::counter("doc.registry.counter");
+/// c.inc();
+/// c.add(2);
+/// assert_eq!(c.get(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` (no-op while the sink is disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.add_unconditional(n);
+        }
+    }
+
+    /// Adds `n` regardless of the global sink state.
+    pub fn add_unconditional(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one (no-op while the sink is disabled).
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A named last-value gauge (queue depths, occupancies, hit counts).
+///
+/// # Examples
+///
+/// ```
+/// cisgraph_obs::enable();
+/// let g = cisgraph_obs::gauge("doc.registry.gauge");
+/// g.set(42);
+/// assert_eq!(g.get(), 42);
+/// ```
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Stores `v` (no-op while the sink is disabled).
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if crate::enabled() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// The last stored value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// One lock shard: independent name→handle maps per metric kind. Handles
+/// are leaked boxes — metric names are a small, bounded set, and a
+/// `&'static` handle is what lets the record path skip the lock.
+#[derive(Default)]
+struct Shard {
+    counters: Mutex<HashMap<String, &'static Counter>>,
+    gauges: Mutex<HashMap<String, &'static Gauge>>,
+    histograms: Mutex<HashMap<String, &'static Histogram>>,
+}
+
+struct Registry {
+    shards: Vec<Shard>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        shards: (0..NUM_SHARDS).map(|_| Shard::default()).collect(),
+    })
+}
+
+fn shard_for(name: &str) -> &'static Shard {
+    let mut h = DefaultHasher::new();
+    name.hash(&mut h);
+    &registry().shards[(h.finish() as usize) % NUM_SHARDS]
+}
+
+fn intern<T: Default + 'static>(
+    map: &Mutex<HashMap<String, &'static T>>,
+    name: &str,
+) -> &'static T {
+    let mut map = map.lock().expect("obs registry shard poisoned");
+    if let Some(&existing) = map.get(name) {
+        return existing;
+    }
+    let handle: &'static T = Box::leak(Box::default());
+    map.insert(name.to_string(), handle);
+    handle
+}
+
+/// The counter registered under `name` (registered on first use).
+pub fn counter(name: &str) -> &'static Counter {
+    intern(&shard_for(name).counters, name)
+}
+
+/// The gauge registered under `name` (registered on first use).
+pub fn gauge(name: &str) -> &'static Gauge {
+    intern(&shard_for(name).gauges, name)
+}
+
+/// The histogram registered under `name` (registered on first use).
+pub fn histogram(name: &str) -> &'static Histogram {
+    intern(&shard_for(name).histograms, name)
+}
+
+/// Visits every registered metric (snapshot support).
+pub(crate) fn for_each(
+    mut on_counter: impl FnMut(&str, &Counter),
+    mut on_gauge: impl FnMut(&str, &Gauge),
+    mut on_histogram: impl FnMut(&str, &Histogram),
+) {
+    for shard in &registry().shards {
+        for (name, c) in shard.counters.lock().expect("shard poisoned").iter() {
+            on_counter(name, c);
+        }
+        for (name, g) in shard.gauges.lock().expect("shard poisoned").iter() {
+            on_gauge(name, g);
+        }
+        for (name, h) in shard.histograms.lock().expect("shard poisoned").iter() {
+            on_histogram(name, h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let a = counter("registry.test.stable") as *const Counter;
+        let b = counter("registry.test.stable") as *const Counter;
+        assert_eq!(a, b, "same name must resolve to the same handle");
+    }
+
+    #[test]
+    fn kinds_are_namespaced_independently() {
+        crate::enable();
+        counter("registry.test.same-name").add(1);
+        gauge("registry.test.same-name").set(9);
+        assert_eq!(gauge("registry.test.same-name").get(), 9);
+        assert!(counter("registry.test.same-name").get() >= 1);
+    }
+
+    #[test]
+    fn concurrent_registration_and_recording() {
+        crate::enable();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                s.spawn(move || {
+                    for i in 0..100 {
+                        counter(&format!("registry.test.mt.{}", i % 5)).inc();
+                        let _ = t;
+                    }
+                });
+            }
+        });
+        let total: u64 = (0..5)
+            .map(|i| counter(&format!("registry.test.mt.{i}")).get())
+            .sum();
+        assert_eq!(total, 800);
+    }
+}

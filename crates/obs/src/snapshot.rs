@@ -1,0 +1,201 @@
+//! Point-in-time snapshots of the metric registry, rendered as JSON.
+
+use crate::hist::HistogramSnapshot;
+use std::collections::BTreeMap;
+
+/// Every registered metric at one instant, sorted by name. Rendered with
+/// [`MetricsSnapshot::to_json_string`] into the schema documented in
+/// `docs/observability.md` (top-level keys `counters`, `gauges`,
+/// `histograms`) for the bench `--metrics-out` artifact pipeline.
+///
+/// # Examples
+///
+/// ```
+/// cisgraph_obs::enable();
+/// cisgraph_obs::counter("doc.snapshot.c").inc();
+/// let snap = cisgraph_obs::snapshot();
+/// let json = snap.to_json_string();
+/// assert!(json.contains("\"doc.snapshot.c\": 1"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-value gauges by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// Captures every registered metric.
+pub fn snapshot() -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot::default();
+    crate::registry::for_each(
+        |name, c| {
+            snap.counters.insert(name.to_string(), c.get());
+        },
+        |name, g| {
+            snap.gauges.insert(name.to_string(), g.get());
+        },
+        |name, h| {
+            snap.histograms.insert(name.to_string(), h.snapshot());
+        },
+    );
+    snap
+}
+
+/// Escapes a string for embedding inside a JSON string literal.
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as pretty-printed JSON with stable (sorted)
+    /// key order. Histograms carry `count`, `sum`, `max`, `mean`,
+    /// `p50`/`p95`/`p99`, and the non-empty log2 `buckets` as
+    /// `[lower_bound, count]` pairs.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        push_map(&mut out, self.counters.iter(), |v| v.to_string());
+        out.push_str(",\n  \"gauges\": {");
+        push_map(&mut out, self.gauges.iter(), |v| v.to_string());
+        out.push_str(",\n  \"histograms\": {");
+        push_map(&mut out, self.histograms.iter(), render_histogram);
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// One line for humans: how many metrics exist and the busiest span.
+    pub fn summary_line(&self) -> String {
+        let spans = self
+            .histograms
+            .iter()
+            .filter(|(name, _)| name.starts_with("span."))
+            .max_by_key(|(_, h)| h.sum);
+        let hottest = match spans {
+            Some((name, h)) => format!(
+                ", hottest span {} ({} samples, p95 {}ns)",
+                name,
+                h.count,
+                h.p95()
+            ),
+            None => String::new(),
+        };
+        format!(
+            "metrics: {} counters, {} gauges, {} histograms{}",
+            self.counters.len(),
+            self.gauges.len(),
+            self.histograms.len(),
+            hottest
+        )
+    }
+}
+
+/// Appends `"name": <value>` entries plus the closing brace of the map.
+fn push_map<'a, V: 'a>(
+    out: &mut String,
+    entries: impl Iterator<Item = (&'a String, &'a V)>,
+    mut render: impl FnMut(&V) -> String,
+) {
+    let mut first = true;
+    for (name, value) in entries {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n    \"{}\": {}",
+            escape_json(name),
+            render(value)
+        ));
+    }
+    if first {
+        out.push('}');
+    } else {
+        out.push_str("\n  }");
+    }
+}
+
+fn render_histogram(h: &HistogramSnapshot) -> String {
+    let buckets: Vec<String> = h
+        .buckets
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(i, &c)| {
+            let lower = if i == 0 {
+                0u64
+            } else {
+                1u64 << (i - 1).min(63)
+            };
+            format!("[{lower}, {c}]")
+        })
+        .collect();
+    format!(
+        "{{\"count\": {}, \"sum\": {}, \"max\": {}, \"mean\": {:.1}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": [{}]}}",
+        h.count,
+        h.sum,
+        h.max,
+        h.mean(),
+        h.p50(),
+        h.p95(),
+        h.p99(),
+        buckets.join(", ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_has_required_top_level_keys() {
+        let json = MetricsSnapshot::default().to_json_string();
+        for key in ["\"counters\"", "\"gauges\"", "\"histograms\""] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn json_escapes_names() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_registry() {
+        crate::enable();
+        crate::counter("snapshot.test.c").add(5);
+        crate::gauge("snapshot.test.g").set(6);
+        crate::histogram("snapshot.test.h").record(7);
+        let snap = snapshot();
+        assert_eq!(snap.counters["snapshot.test.c"], 5);
+        assert_eq!(snap.gauges["snapshot.test.g"], 6);
+        assert_eq!(snap.histograms["snapshot.test.h"].max, 7);
+        let json = snap.to_json_string();
+        assert!(json.contains("\"snapshot.test.h\""));
+        assert!(json.contains("\"p95\""));
+    }
+
+    #[test]
+    fn summary_line_mentions_span() {
+        crate::enable();
+        {
+            let _s = crate::span("snapshot.test.span");
+        }
+        let line = snapshot().summary_line();
+        assert!(line.starts_with("metrics:"), "{line}");
+        assert!(line.contains("hottest span"), "{line}");
+    }
+}

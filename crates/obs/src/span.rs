@@ -1,0 +1,205 @@
+//! Phase spans and the trace event log.
+//!
+//! A [`span`] measures the wall time of one phase (engine identification,
+//! shard fan-out, delayed drain, …). Every finished span records into the
+//! `span.<name>` histogram; when tracing is additionally enabled
+//! ([`enable_tracing`]) it also appends a complete event — name, start,
+//! duration, thread — to an in-memory log that exports as JSONL
+//! ([`export_jsonl`]) or as a Chrome `trace_event` JSON document
+//! ([`export_chrome_trace`]) loadable in `chrome://tracing` or Perfetto.
+
+use crate::snapshot::escape_json;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+static TRACING: AtomicBool = AtomicBool::new(false);
+
+/// Turns the trace event log on (and the metrics sink with it — a trace
+/// without its histograms would be half a picture).
+pub fn enable_tracing() {
+    crate::enable();
+    TRACING.store(true, Ordering::Relaxed);
+}
+
+/// Whether span events are being appended to the trace log.
+#[inline]
+pub fn trace_enabled() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+/// One completed span in the event log.
+#[derive(Debug, Clone)]
+struct TraceEvent {
+    name: String,
+    /// Microseconds since the process-wide trace epoch.
+    start_us: u64,
+    dur_us: u64,
+    /// Stable per-thread id (hash of `std::thread::ThreadId`).
+    tid: u64,
+}
+
+fn events() -> &'static Mutex<Vec<TraceEvent>> {
+    static EVENTS: OnceLock<Mutex<Vec<TraceEvent>>> = OnceLock::new();
+    EVENTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// The instant all trace timestamps are relative to (first use wins).
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn current_tid() -> u64 {
+    let mut h = DefaultHasher::new();
+    std::thread::current().id().hash(&mut h);
+    h.finish()
+}
+
+/// An in-flight phase measurement; created by [`span`], recorded on drop.
+///
+/// While the sink is disabled this is an empty guard: no clock read on
+/// entry, nothing on drop.
+#[derive(Debug)]
+#[must_use = "a span measures until it is dropped; binding it to `_` drops it immediately"]
+pub struct Span {
+    active: Option<SpanInner>,
+}
+
+#[derive(Debug)]
+struct SpanInner {
+    name: String,
+    start: Instant,
+    start_us: u64,
+}
+
+/// Starts a span named `name`. On drop it records the elapsed wall time
+/// into the `span.<name>` histogram (nanoseconds) and, when tracing is on,
+/// appends a trace event.
+///
+/// # Examples
+///
+/// ```
+/// cisgraph_obs::enable();
+/// {
+///     let _phase = cisgraph_obs::span("doc.span.phase");
+/// }
+/// assert!(cisgraph_obs::snapshot().histograms["span.doc.span.phase"].count >= 1);
+/// ```
+pub fn span(name: &str) -> Span {
+    if !crate::enabled() {
+        return Span { active: None };
+    }
+    let start = Instant::now();
+    Span {
+        active: Some(SpanInner {
+            name: name.to_string(),
+            start,
+            start_us: u64::try_from(start.duration_since(epoch()).as_micros()).unwrap_or(u64::MAX),
+        }),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.active.take() else {
+            return;
+        };
+        let elapsed = inner.start.elapsed();
+        crate::histogram(&format!("span.{}", inner.name)).record_duration(elapsed);
+        if trace_enabled() {
+            let mut log = events().lock().expect("trace log poisoned");
+            log.push(TraceEvent {
+                name: inner.name,
+                start_us: inner.start_us,
+                dur_us: u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
+                tid: current_tid(),
+            });
+        }
+    }
+}
+
+/// Number of events currently in the trace log.
+pub fn num_trace_events() -> usize {
+    events().lock().expect("trace log poisoned").len()
+}
+
+/// Empties the trace log (the metrics registry is untouched).
+pub fn clear_trace() {
+    events().lock().expect("trace log poisoned").clear();
+}
+
+/// Renders the trace log as JSON Lines: one object per completed span with
+/// `name`, `start_us`, `dur_us`, and `tid` fields, in completion order.
+pub fn export_jsonl() -> String {
+    let log = events().lock().expect("trace log poisoned");
+    let mut out = String::new();
+    for e in log.iter() {
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"start_us\":{},\"dur_us\":{},\"tid\":{}}}\n",
+            escape_json(&e.name),
+            e.start_us,
+            e.dur_us,
+            e.tid
+        ));
+    }
+    out
+}
+
+/// Renders the trace log as a Chrome `trace_event` JSON document
+/// (complete `"ph":"X"` events), loadable in `chrome://tracing` or
+/// [Perfetto](https://ui.perfetto.dev).
+pub fn export_chrome_trace() -> String {
+    let log = events().lock().expect("trace log poisoned");
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+    for (i, e) in log.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}}}",
+            escape_json(&e.name),
+            e.start_us,
+            e.dur_us,
+            // Chrome renders tids as 32-bit-ish lane labels; fold the hash.
+            e.tid % 100_000
+        ));
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_into_histogram() {
+        crate::enable();
+        {
+            let _s = span("span.test.unit");
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        }
+        let snap = crate::snapshot();
+        let h = &snap.histograms["span.span.test.unit"];
+        assert!(h.count >= 1);
+        assert!(h.max >= 50_000, "recorded ns, got {}", h.max);
+    }
+
+    #[test]
+    fn trace_log_exports_both_formats() {
+        enable_tracing();
+        {
+            let _s = span("span.test.trace");
+        }
+        assert!(num_trace_events() >= 1);
+        let jsonl = export_jsonl();
+        assert!(jsonl.lines().any(|l| l.contains("span.test.trace")));
+        let chrome = export_chrome_trace();
+        assert!(chrome.contains("\"traceEvents\""));
+        assert!(chrome.contains("\"ph\":\"X\""));
+        assert!(chrome.contains("span.test.trace"));
+    }
+}

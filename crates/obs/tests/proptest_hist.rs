@@ -1,0 +1,85 @@
+//! Property tests for the histogram math: quantile ordering, exact
+//! power-of-two bucket boundaries, and merge = concatenation.
+
+use cisgraph_obs::{percentile, Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+/// Records a sample stream into a fresh histogram (recording is gated on
+/// the global sink, so enable it first).
+fn record_all(values: &[u64]) -> HistogramSnapshot {
+    cisgraph_obs::enable();
+    let h = Histogram::default();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn quantiles_are_monotone(values in proptest::collection::vec(any::<u64>(), 1..200)) {
+        let s = record_all(&values);
+        prop_assert!(s.p50() <= s.p95());
+        prop_assert!(s.p95() <= s.p99());
+        prop_assert!(s.p99() <= s.max);
+        prop_assert_eq!(s.max, values.iter().copied().max().unwrap());
+        prop_assert_eq!(s.count, values.len() as u64);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two(k in 0usize..63) {
+        // 2^k and 2^k - 1 must land in adjacent buckets; 2^k and
+        // 2^(k+1) - 1 must share one.
+        let p = 1u64 << k;
+        let below = record_all(&[p.saturating_sub(1)]);
+        let at = record_all(&[p]);
+        let top = record_all(&[2 * p - 1]);
+        let idx = |s: &HistogramSnapshot| s.buckets.iter().position(|&c| c > 0).unwrap();
+        if p > 1 {
+            prop_assert_eq!(idx(&at), idx(&below) + 1, "2^{} must open a bucket", k);
+        }
+        prop_assert_eq!(idx(&at), idx(&top), "bucket [2^{}, 2^{}) must be one bucket", k, k + 1);
+    }
+
+    #[test]
+    fn merge_equals_concatenated_stream(
+        a in proptest::collection::vec(any::<u64>(), 0..100),
+        b in proptest::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let mut merged = record_all(&a);
+        merged.merge(&record_all(&b));
+        let concat: Vec<u64> = a.iter().chain(&b).copied().collect();
+        prop_assert_eq!(merged, record_all(&concat));
+    }
+
+    #[test]
+    fn quantile_overestimates_within_one_bucket(
+        values in proptest::collection::vec(1u64..u64::MAX / 2, 1..200),
+        p in 0.01f64..1.0,
+    ) {
+        // The bucketed nearest-rank quantile brackets the exact one:
+        // never below it, and at most 2x (one log2 bucket) above.
+        let s = record_all(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let exact = percentile(&sorted, p).unwrap();
+        let approx = s.quantile(p);
+        prop_assert!(approx >= exact, "{approx} < exact {exact}");
+        prop_assert!(approx / 2 <= exact, "{approx} > 2x exact {exact}");
+    }
+
+    #[test]
+    fn exact_percentile_picks_a_sample(
+        values in proptest::collection::vec(any::<u64>(), 1..200),
+        p in 0.01f64..1.0,
+    ) {
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let got = percentile(&sorted, p).unwrap();
+        prop_assert!(values.contains(&got));
+        // Nearest-rank at p = 1.0 is the maximum.
+        prop_assert_eq!(percentile(&sorted, 1.0).unwrap(), *sorted.last().unwrap());
+    }
+}

@@ -84,6 +84,28 @@ impl MemorySystem {
         s
     }
 
+    /// Publishes the hierarchy's state to the [`cisgraph_obs`] registry as
+    /// gauges: DRAM row-buffer hits/misses, reads/writes, SPM hits/misses/
+    /// writebacks, and scratchpad occupancy (`sim.spm.occupancy_lines` out
+    /// of `sim.spm.total_lines`). Gauges because the underlying statistics
+    /// are cumulative — each publish overwrites with the latest value.
+    /// No-op unless instrumentation is enabled.
+    pub fn publish_obs(&self) {
+        if !cisgraph_obs::enabled() {
+            return;
+        }
+        let s = self.stats();
+        cisgraph_obs::gauge("sim.dram.row_hits").set(s.row_hits);
+        cisgraph_obs::gauge("sim.dram.row_misses").set(s.row_misses);
+        cisgraph_obs::gauge("sim.dram.reads").set(s.dram_reads);
+        cisgraph_obs::gauge("sim.dram.writes").set(s.dram_writes);
+        cisgraph_obs::gauge("sim.spm.hits").set(s.spm_hits);
+        cisgraph_obs::gauge("sim.spm.misses").set(s.spm_misses);
+        cisgraph_obs::gauge("sim.spm.writebacks").set(s.spm_writebacks);
+        cisgraph_obs::gauge("sim.spm.occupancy_lines").set(self.spm.occupied_lines() as u64);
+        cisgraph_obs::gauge("sim.spm.total_lines").set(self.spm.total_lines() as u64);
+    }
+
     /// The scratchpad level.
     pub fn spm(&self) -> &Spm {
         &self.spm
@@ -134,6 +156,30 @@ mod tests {
         assert_eq!(m.stats().spm_misses, 1);
         let t = m.read(0, 8, 100);
         assert_eq!(t, 101, "written line is resident");
+    }
+
+    #[test]
+    fn occupancy_tracks_resident_lines() {
+        let mut m = mem();
+        assert_eq!(m.spm().occupied_lines(), 0);
+        m.read(0, 256, 0); // 4 lines
+        assert_eq!(m.spm().occupied_lines(), 4);
+        assert!(m.spm().total_lines() >= 4);
+    }
+
+    #[test]
+    fn publish_obs_exports_gauges() {
+        cisgraph_obs::enable();
+        let mut m = mem();
+        m.read(0, 128, 0);
+        m.publish_obs();
+        assert_eq!(cisgraph_obs::gauge("sim.spm.occupancy_lines").get(), 2);
+        assert_eq!(cisgraph_obs::gauge("sim.spm.misses").get(), 2);
+        assert_eq!(
+            cisgraph_obs::gauge("sim.dram.row_hits").get()
+                + cisgraph_obs::gauge("sim.dram.row_misses").get(),
+            2
+        );
     }
 
     #[test]

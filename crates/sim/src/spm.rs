@@ -160,6 +160,21 @@ impl Spm {
         self.config.access_latency
     }
 
+    /// Number of lines currently resident (valid), i.e. the scratchpad
+    /// occupancy. Grows monotonically from zero until the working set fills
+    /// the geometry, then saturates at [`Spm::total_lines`].
+    pub fn occupied_lines(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|set| set.iter().filter(|l| l.valid).count())
+            .sum()
+    }
+
+    /// Total line slots in the geometry (`sets × ways`).
+    pub fn total_lines(&self) -> usize {
+        self.sets.len() * self.config.ways
+    }
+
     fn set_and_tag(&self, line_addr: u64) -> (usize, u64) {
         let line = line_addr / self.config.line_bytes;
         let set = (line % self.sets.len() as u64) as usize;

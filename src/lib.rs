@@ -17,7 +17,23 @@
 //!   [`DynEngine`](engines::DynEngine) wrapper, and the parallel
 //!   [`QueryServer`](engines::QueryServer) serving layer,
 //! * [`sim`] — the DDR4 + scratchpad timing substrate,
-//! * [`core`] — the CISGraph accelerator model.
+//! * [`core`] — the CISGraph accelerator model,
+//! * [`obs`] — in-process counters, gauges, log2 latency histograms,
+//!   spans, and Chrome-trace export (see `docs/observability.md`).
+//!
+//! # Observability
+//!
+//! Instrumentation is off by default (one relaxed atomic load per hook).
+//! Switch it on to collect per-engine counters and latency histograms:
+//!
+//! ```
+//! use cisgraph::obs;
+//!
+//! obs::enable();
+//! obs::counter("quickstart.batches").inc();
+//! let snapshot = obs::snapshot();
+//! assert!(snapshot.to_json_string().contains("quickstart.batches"));
+//! ```
 //!
 //! # Quickstart
 //!
@@ -84,6 +100,7 @@ pub use cisgraph_core as core;
 pub use cisgraph_datasets as datasets;
 pub use cisgraph_engines as engines;
 pub use cisgraph_graph as graph;
+pub use cisgraph_obs as obs;
 pub use cisgraph_sim as sim;
 pub use cisgraph_types as types;
 
