@@ -1,0 +1,42 @@
+//! Compares two `--metrics-out` snapshots and prints what moved.
+//!
+//! ```text
+//! metricsdiff before.json after.json
+//! ```
+//!
+//! Exit status: `0` on success (including "no changes"), `2` on usage or
+//! I/O/parse errors. Typical flow: run an experiment binary twice (e.g.
+//! before and after a change) with `--metrics-out`, then diff the files:
+//!
+//! ```text
+//! cargo run -p cisgraph-bench --bin ingest -- --metrics-out before.json
+//! # ...apply the change...
+//! cargo run -p cisgraph-bench --bin ingest -- --metrics-out after.json
+//! cargo run -p cisgraph-bench --bin metricsdiff -- before.json after.json
+//! ```
+
+use cisgraph_bench::metricsdiff::{diff, MetricsDoc};
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<MetricsDoc, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    MetricsDoc::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let positional: Vec<&String> = argv.iter().filter(|a| !a.starts_with("--")).collect();
+    if positional.len() != 2 || argv.iter().any(|a| a == "--help") {
+        eprintln!("usage: metricsdiff <old-metrics.json> <new-metrics.json>");
+        return ExitCode::from(2);
+    }
+    let (old, new) = match (load(positional[0]), load(positional[1])) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("metricsdiff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", diff(&old, &new).render());
+    ExitCode::SUCCESS
+}

@@ -16,6 +16,7 @@
 pub mod args;
 pub mod artifacts;
 pub mod experiment;
+pub mod metricsdiff;
 pub mod naive;
 pub mod obsout;
 pub mod table;

@@ -1,0 +1,449 @@
+//! Diffing two `--metrics-out` snapshots.
+//!
+//! Every experiment binary can write a [`cisgraph_obs::MetricsSnapshot`]
+//! as JSON via `--metrics-out` (see [`crate::obsout`]). This module loads
+//! two such files and reports what moved between them: counter and gauge
+//! deltas (with percentages) and histogram shifts (count, mean, and the
+//! p50/p95/p99 bucket-resolution percentiles). The `metricsdiff` binary is
+//! a thin wrapper:
+//!
+//! ```text
+//! metricsdiff before.json after.json
+//! ```
+//!
+//! The parser consumes the schema documented in `docs/observability.md`
+//! (top-level `counters` / `gauges` / `histograms` maps); unknown keys are
+//! ignored so the format can grow without breaking old diffs.
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Summary statistics of one serialized histogram (the scalar fields of
+/// the JSON rendering; the raw buckets are not needed for diffing).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HistStats {
+    /// Total recorded samples.
+    pub count: u64,
+    /// Mean of the recorded values.
+    pub mean: f64,
+    /// Median (bucket-resolution nearest rank).
+    pub p50: u64,
+    /// 95th percentile (bucket-resolution nearest rank).
+    pub p95: u64,
+    /// 99th percentile (bucket-resolution nearest rank).
+    pub p99: u64,
+    /// Exact maximum recorded value.
+    pub max: u64,
+}
+
+/// One parsed `--metrics-out` file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsDoc {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-value gauges by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram summary statistics by name.
+    pub histograms: BTreeMap<String, HistStats>,
+}
+
+impl MetricsDoc {
+    /// Parses a metrics snapshot from its JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on malformed JSON or a document
+    /// whose top level is not an object.
+    pub fn parse(json: &str) -> Result<Self, String> {
+        let value: Value =
+            serde_json::from_str(json).map_err(|e| format!("invalid JSON: {e:?}"))?;
+        let Value::Map(entries) = &value else {
+            return Err("top level must be a JSON object".into());
+        };
+        let mut doc = Self::default();
+        for (key, section) in entries {
+            match key.as_str() {
+                "counters" => doc.counters = scalar_map(section),
+                "gauges" => doc.gauges = scalar_map(section),
+                "histograms" => doc.histograms = histogram_map(section),
+                _ => {}
+            }
+        }
+        Ok(doc)
+    }
+}
+
+fn scalar_map(section: &Value) -> BTreeMap<String, u64> {
+    let Value::Map(entries) = section else {
+        return BTreeMap::new();
+    };
+    entries
+        .iter()
+        .filter_map(|(name, v)| Some((name.clone(), as_u64(v)?)))
+        .collect()
+}
+
+fn histogram_map(section: &Value) -> BTreeMap<String, HistStats> {
+    let Value::Map(entries) = section else {
+        return BTreeMap::new();
+    };
+    entries
+        .iter()
+        .filter_map(|(name, v)| {
+            let Value::Map(fields) = v else { return None };
+            let mut h = HistStats::default();
+            for (k, field) in fields {
+                match k.as_str() {
+                    "count" => h.count = as_u64(field)?,
+                    "mean" => h.mean = as_f64(field)?,
+                    "p50" => h.p50 = as_u64(field)?,
+                    "p95" => h.p95 = as_u64(field)?,
+                    "p99" => h.p99 = as_u64(field)?,
+                    "max" => h.max = as_u64(field)?,
+                    _ => {}
+                }
+            }
+            Some((name.clone(), h))
+        })
+        .collect()
+}
+
+fn as_u64(v: &Value) -> Option<u64> {
+    match *v {
+        Value::U64(x) => Some(x),
+        Value::I64(x) => u64::try_from(x).ok(),
+        Value::F64(x) if x >= 0.0 && x.fract() == 0.0 => Some(x as u64),
+        _ => None,
+    }
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match *v {
+        Value::U64(x) => Some(x as f64),
+        Value::I64(x) => Some(x as f64),
+        Value::F64(x) => Some(x),
+        _ => None,
+    }
+}
+
+/// One scalar metric's before/after pair. `None` on either side means the
+/// metric only exists in the other snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalarDelta {
+    /// Metric name.
+    pub name: String,
+    /// Value in the old snapshot (`None` if added).
+    pub old: Option<u64>,
+    /// Value in the new snapshot (`None` if removed).
+    pub new: Option<u64>,
+}
+
+impl ScalarDelta {
+    fn render(&self, out: &mut String) {
+        match (self.old, self.new) {
+            (Some(o), Some(n)) => {
+                let delta = n as i128 - i128::from(o);
+                let pct = if o == 0 {
+                    String::from("n/a")
+                } else {
+                    format!("{:+.1}%", 100.0 * delta as f64 / o as f64)
+                };
+                let _ = writeln!(out, "  {:<40} {o} -> {n}  ({delta:+}, {pct})", self.name);
+            }
+            (None, Some(n)) => {
+                let _ = writeln!(out, "  {:<40} (added) -> {n}", self.name);
+            }
+            (Some(o), None) => {
+                let _ = writeln!(out, "  {:<40} {o} -> (removed)", self.name);
+            }
+            (None, None) => {}
+        }
+    }
+}
+
+/// One histogram's before/after summary pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistDelta {
+    /// Metric name.
+    pub name: String,
+    /// Stats in the old snapshot (`None` if added).
+    pub old: Option<HistStats>,
+    /// Stats in the new snapshot (`None` if removed).
+    pub new: Option<HistStats>,
+}
+
+impl HistDelta {
+    fn render(&self, out: &mut String) {
+        let _ = writeln!(out, "  {}", self.name);
+        match (self.old, self.new) {
+            (Some(o), Some(n)) => {
+                let _ = writeln!(out, "    count {} -> {}", o.count, n.count);
+                let _ = writeln!(
+                    out,
+                    "    mean  {:.1} -> {:.1}  ({})",
+                    o.mean,
+                    n.mean,
+                    ratio_f64(o.mean, n.mean)
+                );
+                for (label, ov, nv) in [
+                    ("p50", o.p50, n.p50),
+                    ("p95", o.p95, n.p95),
+                    ("p99", o.p99, n.p99),
+                    ("max", o.max, n.max),
+                ] {
+                    let _ = writeln!(out, "    {label}   {ov} -> {nv}  ({})", ratio(ov, nv));
+                }
+            }
+            (None, Some(n)) => {
+                let _ = writeln!(
+                    out,
+                    "    (added)  count {}  mean {:.1}  p50 {}  p95 {}  p99 {}  max {}",
+                    n.count, n.mean, n.p50, n.p95, n.p99, n.max
+                );
+            }
+            (Some(o), None) => {
+                let _ = writeln!(out, "    (removed)  count was {}", o.count);
+            }
+            (None, None) => {}
+        }
+    }
+}
+
+/// `new / old` rendered as a speedup/slowdown factor, `n/a` when the old
+/// side is zero.
+fn ratio(old: u64, new: u64) -> String {
+    ratio_f64(old as f64, new as f64)
+}
+
+fn ratio_f64(old: f64, new: f64) -> String {
+    if old == 0.0 {
+        String::from("n/a")
+    } else {
+        format!("{:.2}x", new / old)
+    }
+}
+
+/// Everything that moved between two snapshots. Unchanged metrics are
+/// counted but not itemized.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiffReport {
+    /// Counters that were added, removed, or changed.
+    pub counters: Vec<ScalarDelta>,
+    /// Gauges that were added, removed, or changed.
+    pub gauges: Vec<ScalarDelta>,
+    /// Histograms that were added, removed, or changed.
+    pub histograms: Vec<HistDelta>,
+    /// Metrics identical in both snapshots (across all three kinds).
+    pub unchanged: usize,
+}
+
+impl DiffReport {
+    /// Whether nothing moved between the two snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Renders the human-readable report the `metricsdiff` binary prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.is_empty() {
+            let _ = writeln!(out, "no changes ({} metrics identical)", self.unchanged);
+            return out;
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "counters ({} changed):", self.counters.len());
+            for d in &self.counters {
+                d.render(&mut out);
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "gauges ({} changed):", self.gauges.len());
+            for d in &self.gauges {
+                d.render(&mut out);
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(out, "histograms ({} changed):", self.histograms.len());
+            for d in &self.histograms {
+                d.render(&mut out);
+            }
+        }
+        let _ = writeln!(out, "{} metrics unchanged", self.unchanged);
+        out
+    }
+}
+
+/// Diffs two parsed snapshots. Output vectors are sorted by metric name
+/// (inherited from the `BTreeMap` iteration order).
+pub fn diff(old: &MetricsDoc, new: &MetricsDoc) -> DiffReport {
+    let mut report = DiffReport::default();
+    for name in keys(&old.counters, &new.counters) {
+        let (o, n) = (
+            old.counters.get(&name).copied(),
+            new.counters.get(&name).copied(),
+        );
+        if o == n {
+            report.unchanged += 1;
+        } else {
+            report.counters.push(ScalarDelta {
+                name,
+                old: o,
+                new: n,
+            });
+        }
+    }
+    for name in keys(&old.gauges, &new.gauges) {
+        let (o, n) = (
+            old.gauges.get(&name).copied(),
+            new.gauges.get(&name).copied(),
+        );
+        if o == n {
+            report.unchanged += 1;
+        } else {
+            report.gauges.push(ScalarDelta {
+                name,
+                old: o,
+                new: n,
+            });
+        }
+    }
+    for name in keys(&old.histograms, &new.histograms) {
+        let (o, n) = (
+            old.histograms.get(&name).copied(),
+            new.histograms.get(&name).copied(),
+        );
+        if o == n {
+            report.unchanged += 1;
+        } else {
+            report.histograms.push(HistDelta {
+                name,
+                old: o,
+                new: n,
+            });
+        }
+    }
+    report
+}
+
+/// Union of both maps' keys, deduplicated and sorted.
+fn keys<V>(a: &BTreeMap<String, V>, b: &BTreeMap<String, V>) -> Vec<String> {
+    let mut names: Vec<String> = a.keys().chain(b.keys()).cloned().collect();
+    names.sort();
+    names.dedup();
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OLD: &str = r#"{
+  "counters": {
+    "graph.deletes": 100,
+    "graph.inserts": 50000,
+    "stale.counter": 7
+  },
+  "gauges": {
+    "sched.queue_depth": 4
+  },
+  "histograms": {
+    "graph.apply_batch_ns": {"count": 10, "sum": 1000, "max": 400, "mean": 100.0, "p50": 127, "p95": 255, "p99": 400, "buckets": [[64, 5], [128, 4], [256, 1]]}
+  }
+}"#;
+
+    const NEW: &str = r#"{
+  "counters": {
+    "graph.deletes": 100,
+    "graph.index_promotions": 3,
+    "graph.inserts": 100000
+  },
+  "gauges": {
+    "sched.queue_depth": 9
+  },
+  "histograms": {
+    "graph.apply_batch_ns": {"count": 20, "sum": 1200, "max": 200, "mean": 60.0, "p50": 63, "p95": 127, "p99": 200, "buckets": [[32, 12], [64, 7], [128, 1]]}
+  }
+}"#;
+
+    #[test]
+    fn parses_the_obs_schema() {
+        let doc = MetricsDoc::parse(OLD).unwrap();
+        assert_eq!(doc.counters["graph.inserts"], 50000);
+        assert_eq!(doc.gauges["sched.queue_depth"], 4);
+        let h = doc.histograms["graph.apply_batch_ns"];
+        assert_eq!(
+            (h.count, h.p50, h.p95, h.p99, h.max),
+            (10, 127, 255, 400, 400)
+        );
+        assert!((h.mean - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_rejects_non_objects() {
+        assert!(MetricsDoc::parse("[1, 2]").is_err());
+        assert!(MetricsDoc::parse("{ not json").is_err());
+    }
+
+    #[test]
+    fn diff_reports_added_removed_and_changed() {
+        let old = MetricsDoc::parse(OLD).unwrap();
+        let new = MetricsDoc::parse(NEW).unwrap();
+        let report = diff(&old, &new);
+        // graph.deletes is identical; inserts changed, promotions added,
+        // stale.counter removed.
+        assert_eq!(report.counters.len(), 3);
+        assert_eq!(report.unchanged, 1);
+        let by_name = |n: &str| {
+            report
+                .counters
+                .iter()
+                .find(|d| d.name == n)
+                .unwrap()
+                .clone()
+        };
+        assert_eq!(by_name("graph.inserts").new, Some(100000));
+        assert_eq!(by_name("graph.index_promotions").old, None);
+        assert_eq!(by_name("stale.counter").new, None);
+        assert_eq!(report.gauges.len(), 1);
+        assert_eq!(report.histograms.len(), 1);
+        let h = &report.histograms[0];
+        assert_eq!(h.new.unwrap().p95, 127);
+    }
+
+    #[test]
+    fn render_shows_percentile_shifts() {
+        let old = MetricsDoc::parse(OLD).unwrap();
+        let new = MetricsDoc::parse(NEW).unwrap();
+        let text = diff(&old, &new).render();
+        assert!(text.contains("graph.inserts"), "{text}");
+        assert!(text.contains("(+50000, +100.0%)"), "{text}");
+        assert!(text.contains("(added) -> 3"), "{text}");
+        assert!(text.contains("7 -> (removed)"), "{text}");
+        assert!(text.contains("p95   255 -> 127  (0.50x)"), "{text}");
+        assert!(text.contains("1 metrics unchanged"), "{text}");
+    }
+
+    #[test]
+    fn identical_snapshots_diff_empty() {
+        let doc = MetricsDoc::parse(OLD).unwrap();
+        let report = diff(&doc, &doc);
+        assert!(report.is_empty());
+        assert_eq!(report.unchanged, 5);
+        assert!(report.render().contains("no changes"));
+    }
+
+    /// End-to-end: a real `cisgraph_obs` snapshot rendered by
+    /// `to_json_string` parses into the same numbers the sink reported.
+    #[test]
+    fn parses_real_obs_output() {
+        cisgraph_obs::enable();
+        cisgraph_obs::counter("metricsdiff.test.counter").add(42);
+        let snap = cisgraph_obs::snapshot();
+        let doc = MetricsDoc::parse(&snap.to_json_string()).unwrap();
+        assert_eq!(
+            doc.counters["metricsdiff.test.counter"],
+            snap.counters["metricsdiff.test.counter"]
+        );
+    }
+}

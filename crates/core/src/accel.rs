@@ -7,10 +7,16 @@ use cisgraph_algo::classify::{
     classify_addition, classify_deletion_dependence, ClassificationSummary,
 };
 use cisgraph_algo::{solver, ConvergedResult, Counters, KeyPath, MonotonicAlgorithm};
-use cisgraph_graph::{DynamicGraph, GraphView, Snapshot};
+use cisgraph_graph::{DynamicGraph, GraphView, Snapshot, SnapshotScratch};
 use cisgraph_sim::{Cycle, MemorySystem};
 use cisgraph_types::{Contribution, EdgeUpdate, PairQuery, State, UpdateKind};
 use std::collections::VecDeque;
+
+/// Worker threads for host-side snapshot materialization (the CSR build
+/// that feeds the simulated memory image, not a simulated quantity).
+pub(crate) fn snapshot_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
 
 /// The CISGraph accelerator instance for one standing pairwise query.
 ///
@@ -24,6 +30,9 @@ pub struct CisGraphAccel<A: MonotonicAlgorithm> {
     query: PairQuery,
     result: ConvergedResult<A>,
     mem: MemorySystem,
+    /// Host-side snapshot buffers, recycled across batches so the per-batch
+    /// CSR rebuild stops reallocating at steady state.
+    scratch: SnapshotScratch,
 }
 
 impl<A: MonotonicAlgorithm> CisGraphAccel<A> {
@@ -42,6 +51,7 @@ impl<A: MonotonicAlgorithm> CisGraphAccel<A> {
             query,
             result,
             mem,
+            scratch: SnapshotScratch::new(),
         }
     }
 
@@ -70,8 +80,10 @@ impl<A: MonotonicAlgorithm> CisGraphAccel<A> {
     /// and deletions to generate a snapshot", §III-B); the snapshot CSR is
     /// materialized internally.
     pub fn process_batch(&mut self, graph: &DynamicGraph, batch: &[EdgeUpdate]) -> AccelReport {
-        let snapshot = graph.snapshot();
-        self.process_batch_on_snapshot(&snapshot, batch)
+        let snapshot = graph.snapshot_with(&mut self.scratch, snapshot_threads());
+        let report = self.process_batch_on_snapshot(&snapshot, batch);
+        self.scratch.recycle(snapshot);
+        report
     }
 
     /// Simulates one batch against a pre-materialized snapshot (avoids

@@ -16,10 +16,10 @@
 //! this hardware model keeps one result per query so each query's
 //! early-response guarantee holds independently.
 
-use crate::accel::simulate_batch;
+use crate::accel::{simulate_batch, snapshot_threads};
 use crate::{AccelReport, AcceleratorConfig, MemoryLayout};
 use cisgraph_algo::{solver, ConvergedResult, Counters, MonotonicAlgorithm};
-use cisgraph_graph::{DynamicGraph, GraphView, Snapshot};
+use cisgraph_graph::{DynamicGraph, GraphView, Snapshot, SnapshotScratch};
 use cisgraph_sim::{MemStats, MemorySystem};
 use cisgraph_types::{EdgeUpdate, PairQuery, State};
 use serde::{Deserialize, Serialize};
@@ -47,6 +47,8 @@ pub struct MultiQueryAccel<A: MonotonicAlgorithm> {
     queries: Vec<PairQuery>,
     results: Vec<ConvergedResult<A>>,
     mem: MemorySystem,
+    /// Host-side snapshot buffers, recycled across batches.
+    scratch: SnapshotScratch,
 }
 
 impl<A: MonotonicAlgorithm> MultiQueryAccel<A> {
@@ -67,6 +69,7 @@ impl<A: MonotonicAlgorithm> MultiQueryAccel<A> {
             queries: queries.to_vec(),
             results,
             mem: MemorySystem::new(config.spm, config.dram),
+            scratch: SnapshotScratch::new(),
         }
     }
 
@@ -91,8 +94,10 @@ impl<A: MonotonicAlgorithm> MultiQueryAccel<A> {
         graph: &DynamicGraph,
         batch: &[EdgeUpdate],
     ) -> MultiAccelReport {
-        let snapshot = graph.snapshot();
-        self.process_batch_on_snapshot(&snapshot, batch)
+        let snapshot = graph.snapshot_with(&mut self.scratch, snapshot_threads());
+        let report = self.process_batch_on_snapshot(&snapshot, batch);
+        self.scratch.recycle(snapshot);
+        report
     }
 
     /// Simulates one batch against a pre-materialized snapshot.

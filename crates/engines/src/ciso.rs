@@ -59,6 +59,7 @@ impl<A: MonotonicAlgorithm> StreamingEngine<A> for CisGraphO<A> {
     }
 
     fn process_batch(&mut self, graph: &DynamicGraph, batch: &[EdgeUpdate]) -> BatchReport {
+        let _batch_span = cisgraph_obs::span("ciso.batch");
         let start = Instant::now();
         let mut counters = Counters::new();
         let mut summary = ClassificationSummary::default();

@@ -53,6 +53,7 @@ impl<A: MonotonicAlgorithm> StreamingEngine<A> for Coalescing<A> {
     }
 
     fn process_batch(&mut self, graph: &DynamicGraph, batch: &[EdgeUpdate]) -> BatchReport {
+        let _batch_span = cisgraph_obs::span("coalescing.batch");
         let start = Instant::now();
         let mut counters = Counters::new();
         self.result.grow(graph.num_vertices());

@@ -60,6 +60,7 @@ impl<A: MonotonicAlgorithm> StreamingEngine<A> for ColdStart<A> {
     }
 
     fn process_batch(&mut self, graph: &DynamicGraph, batch: &[EdgeUpdate]) -> BatchReport {
+        let _batch_span = cisgraph_obs::span("cs.batch");
         let start = Instant::now();
         let mut counters = Counters::new();
         // CS examines no updates individually; the batch is only reflected

@@ -256,6 +256,7 @@ impl<A: MonotonicAlgorithm> MultiQuery<A> {
         graph: &DynamicGraph,
         batch: &[EdgeUpdate],
     ) -> Vec<BatchReport> {
+        let _batch_span = cisgraph_obs::span("multi.batch");
         let pending = incremental::PendingDeletions::from_batch(batch.iter().copied());
         self.groups
             .iter_mut()

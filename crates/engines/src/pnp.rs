@@ -77,6 +77,7 @@ impl<A: MonotonicAlgorithm> StreamingEngine<A> for Pnp<A> {
     }
 
     fn process_batch(&mut self, graph: &DynamicGraph, batch: &[EdgeUpdate]) -> BatchReport {
+        let _batch_span = cisgraph_obs::span("pnp.batch");
         let start = Instant::now();
         let mut counters = Counters::new();
         counters.updates_processed = batch.len() as u64;

@@ -87,13 +87,15 @@ pub struct ServeReport {
     pub groups: usize,
     /// Wall-clock time of the parallel fan-out.
     pub wall_time: Duration,
-    /// Median per-group response time.
+    /// Median per-group response time, at log2-bucket resolution (the
+    /// inclusive upper bound of the exact median's power-of-two bucket,
+    /// clamped by [`response_max`](ServeReport::response_max)).
     pub response_p50: Duration,
-    /// 95th-percentile per-group response time.
+    /// 95th-percentile per-group response time (log2-bucket resolution).
     pub response_p95: Duration,
-    /// 99th-percentile per-group response time.
+    /// 99th-percentile per-group response time (log2-bucket resolution).
     pub response_p99: Duration,
-    /// Worst per-group response time.
+    /// Worst per-group response time (exact, not bucketed).
     pub response_max: Duration,
     /// Summed work across every group: ⊕/⊗ counters, activations, and
     /// sequential-equivalent times. The answer slot carries the first
@@ -257,7 +259,10 @@ impl<A: MonotonicAlgorithm> QueryServer<A> {
     /// Panics if a worker thread panics.
     pub fn process_batch(&mut self, batch: &[EdgeUpdate]) -> Result<ServeReport, GraphError> {
         let _span = cisgraph_obs::span("serve.batch");
-        self.graph.apply_batch(batch)?;
+        {
+            let _ingest = cisgraph_obs::span("serve.ingest");
+            self.graph.apply_batch(batch)?;
+        }
         let view = self.graph.graph();
         let shards = &mut self.shards;
         let start = Instant::now();
@@ -307,24 +312,31 @@ impl<A: MonotonicAlgorithm> QueryServer<A> {
             .unwrap_or_else(A::unreached);
         let mut work = ReportCore::new(first);
         let mut classification = ClassificationSummary::default();
-        let mut responses: Vec<Duration> = Vec::new();
+        // Per-group response times go into an owned log2 histogram — the
+        // same distribution `record_obs` publishes — instead of a sorted
+        // vector. Quantiles are bucket-resolution (each reported value is
+        // the inclusive upper bound of the exact percentile's power-of-two
+        // bucket, clamped by the exact max, which is still tracked
+        // directly); the O(groups log groups) per-batch sort is gone.
+        let mut responses = cisgraph_obs::HistogramSnapshot::default();
+        let mut response_max = Duration::ZERO;
         for report in per_shard.iter().flatten() {
             work.accumulate(&report.core);
             if let Some(s) = report.classification {
                 classification += s;
             }
-            responses.push(report.response_time);
+            responses.record(duration_to_nanos(report.response_time));
+            response_max = response_max.max(report.response_time);
         }
-        responses.sort_unstable();
         ServeReport {
             queries: answers.len(),
             shards: per_shard.len(),
-            groups: responses.len(),
+            groups: responses.count as usize,
             wall_time,
-            response_p50: percentile(&responses, 0.50),
-            response_p95: percentile(&responses, 0.95),
-            response_p99: percentile(&responses, 0.99),
-            response_max: responses.last().copied().unwrap_or(Duration::ZERO),
+            response_p50: Duration::from_nanos(responses.quantile(0.50)),
+            response_p95: Duration::from_nanos(responses.quantile(0.95)),
+            response_p99: Duration::from_nanos(responses.quantile(0.99)),
+            response_max,
             work,
             classification,
             answers,
@@ -332,9 +344,16 @@ impl<A: MonotonicAlgorithm> QueryServer<A> {
     }
 }
 
+/// A duration as saturating nanoseconds (the histogram's unit).
+fn duration_to_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
 /// Nearest-rank percentile of an ascending-sorted sample. Thin wrapper over
-/// the single shared implementation in [`cisgraph_obs::percentile`], so the
-/// serving layer and the bench variance harness agree bit-for-bit.
+/// the single shared implementation in [`cisgraph_obs::percentile`] — the
+/// *exact* path, kept (test-only now) as the reference the histogram
+/// quantiles are pinned against.
+#[cfg(test)]
 fn percentile(sorted: &[Duration], p: f64) -> Duration {
     cisgraph_obs::percentile(sorted, p).unwrap_or(Duration::ZERO)
 }
@@ -495,6 +514,38 @@ mod tests {
             percentile(&[Duration::from_millis(7)], 0.5),
             Duration::from_millis(7)
         );
+    }
+
+    /// Pins the histogram-quantile approximation error to one log2 bucket:
+    /// the reported value is never below the exact-sort percentile and
+    /// never above the inclusive upper bound of the exact value's
+    /// power-of-two bucket.
+    #[test]
+    fn histogram_percentiles_are_within_one_bucket_of_exact_sort() {
+        let mut durations: Vec<Duration> = (0..500u64)
+            .map(|i| Duration::from_nanos(i * 7919 % 100_000 + 1))
+            .collect();
+        let mut hist = cisgraph_obs::HistogramSnapshot::default();
+        for d in &durations {
+            hist.record(duration_to_nanos(*d));
+        }
+        durations.sort_unstable();
+        let max = duration_to_nanos(*durations.last().unwrap());
+        for p in [0.50, 0.95, 0.99] {
+            let exact = duration_to_nanos(percentile(&durations, p));
+            let approx = hist.quantile(p);
+            assert!(approx >= exact, "p{p}: {approx} below exact {exact}");
+            let bucket_upper = match 64 - exact.leading_zeros() {
+                0 => 0,
+                i if i >= 64 => u64::MAX,
+                i => (1u64 << i) - 1,
+            };
+            assert!(
+                approx <= bucket_upper.min(max).max(exact),
+                "p{p}: {approx} more than one bucket above exact {exact}"
+            );
+        }
+        assert_eq!(hist.quantile(1.0), max, "p100 stays exact");
     }
 
     #[test]

@@ -259,6 +259,7 @@ impl<A: MonotonicAlgorithm> StreamingEngine<A> for SGraph<A> {
         // bound-pruned query evaluation. `total_time` charges both, which
         // is how maintenance overhead can make SGraph lose to CS end to end
         // (the effect the paper observes on PPNP/Reach).
+        let _batch_span = cisgraph_obs::span("sgraph.batch");
         let start = Instant::now();
         let mut counters = Counters::new();
         counters.updates_processed = batch.len() as u64;

@@ -1,0 +1,376 @@
+//! Degree-adaptive hybrid adjacency lists.
+//!
+//! Small vertices keep their out/in-lists as a plain `Vec<Edge>`: a linear
+//! scan over a handful of cache lines beats any index. Once a vertex
+//! crosses the promotion threshold (a hub on a skewed R-MAT graph, say),
+//! the list grows a `destination -> positions` side index so membership
+//! tests, weight lookups, and — critically for the §IV-A deletion-heavy
+//! batches — `remove` become O(expected multiplicity) instead of
+//! O(degree).
+//!
+//! The index is *positional*: it never changes the layout of the edge
+//! vector. Every mutation (append, `swap_remove` at the chosen position)
+//! is performed exactly as the naive representation would perform it, and
+//! the position *chosen* for a removal is provably the same one the naive
+//! linear scan would choose (the minimum matching position). The storage
+//! equivalence proptests in `tests/proptest_storage.rs` pin this down:
+//! hybrid and naive lists stay bit-identical slices under any operation
+//! sequence.
+//!
+//! Lists are promoted at most once and never demoted — a vertex that was
+//! ever hot keeps its index, so a delete-heavy batch against a former hub
+//! stays O(1) even after the degree drops.
+
+use crate::Edge;
+use cisgraph_types::{VertexId, Weight};
+use std::collections::HashMap;
+
+/// Default out/in-list length beyond which an adjacency list grows its
+/// destination index. Below this, a linear scan over the inline vector is
+/// cheaper than a hash lookup.
+pub const DEFAULT_PROMOTION_THRESHOLD: usize = 64;
+
+/// Positions (indices into the edge vector) of every entry sharing one
+/// destination. `u32` keeps hub indexes at half the footprint of `usize`;
+/// a single vertex cannot hold 2^32 adjacency entries before `num_edges`
+/// (a `usize` counting 16-byte entries) exhausts memory.
+type Positions = Vec<u32>;
+
+/// One vertex's adjacency: an inline edge vector plus, past the promotion
+/// threshold, a `destination -> positions` index.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct AdjacencyList {
+    edges: Vec<Edge>,
+    /// Boxed so the (per-vertex) struct stays at `Vec` + pointer size:
+    /// unindexed vertices — the overwhelming majority — pay 8 bytes for
+    /// this field instead of an inline 48-byte `HashMap` header.
+    #[allow(clippy::box_collection)]
+    index: Option<Box<HashMap<VertexId, Positions>>>,
+}
+
+impl AsRef<[Edge]> for AdjacencyList {
+    #[inline]
+    fn as_ref(&self) -> &[Edge] {
+        &self.edges
+    }
+}
+
+impl AdjacencyList {
+    /// The adjacency entries, in exactly the order the naive
+    /// representation would hold them.
+    #[inline]
+    pub(crate) fn as_slice(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Whether this list has been promoted to the indexed representation.
+    #[cfg(test)]
+    pub(crate) fn is_indexed(&self) -> bool {
+        self.index.is_some()
+    }
+
+    /// Reserves room for `additional` more entries (batch fast path).
+    #[inline]
+    pub(crate) fn reserve(&mut self, additional: usize) {
+        self.edges.reserve(additional);
+    }
+
+    /// Appends an entry, promoting the list to the indexed representation
+    /// when its length crosses `threshold`. Returns `true` iff this call
+    /// performed the promotion (for the `graph.index_promotions` counter).
+    pub(crate) fn push(&mut self, edge: Edge, threshold: usize) -> bool {
+        let pos = self.edges.len() as u32;
+        self.edges.push(edge);
+        if let Some(index) = &mut self.index {
+            index.entry(edge.to()).or_default().push(pos);
+            false
+        } else if self.edges.len() > threshold {
+            self.build_index();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn build_index(&mut self) {
+        let mut index: HashMap<VertexId, Positions> = HashMap::with_capacity(self.edges.len());
+        for (pos, edge) in self.edges.iter().enumerate() {
+            index.entry(edge.to()).or_default().push(pos as u32);
+        }
+        self.index = Some(Box::new(index));
+    }
+
+    /// Whether at least one entry points at `dst`.
+    #[inline]
+    pub(crate) fn contains(&self, dst: VertexId) -> bool {
+        match &self.index {
+            // Emptied position lists are pruned on removal, so key
+            // presence is entry presence.
+            Some(index) => index.contains_key(&dst),
+            None => self.edges.iter().any(|e| e.to() == dst),
+        }
+    }
+
+    /// The weight of the first (lowest-position) entry pointing at `dst`.
+    pub(crate) fn first_weight(&self, dst: VertexId) -> Option<Weight> {
+        match &self.index {
+            Some(index) => {
+                let first = *index.get(&dst)?.iter().min()?;
+                Some(self.edges[first as usize].weight())
+            }
+            None => self
+                .edges
+                .iter()
+                .find(|e| e.to() == dst)
+                .map(|e| e.weight()),
+        }
+    }
+
+    /// Removes one entry pointing at `dst`, preferring the first entry
+    /// whose weight equals `expect` and falling back to the first `dst`
+    /// entry — the exact semantics of the historical double linear scan,
+    /// in one pass (and O(multiplicity) on indexed lists).
+    pub(crate) fn remove_weight_preferred(
+        &mut self,
+        dst: VertexId,
+        expect: Option<Weight>,
+    ) -> Option<Edge> {
+        let pos = match &self.index {
+            Some(index) => {
+                let positions = index.get(&dst)?;
+                let mut first = u32::MAX;
+                let mut matched = u32::MAX;
+                for &p in positions {
+                    first = first.min(p);
+                    if expect == Some(self.edges[p as usize].weight()) {
+                        matched = matched.min(p);
+                    }
+                }
+                if matched != u32::MAX {
+                    matched as usize
+                } else {
+                    first as usize
+                }
+            }
+            None => {
+                // Single pass tracking both the exact-weight match and the
+                // first destination match (the fallback when parallel
+                // edges carry other weights).
+                let mut first = None;
+                let mut matched = None;
+                for (i, e) in self.edges.iter().enumerate() {
+                    if e.to() != dst {
+                        continue;
+                    }
+                    if first.is_none() {
+                        first = Some(i);
+                    }
+                    match expect {
+                        Some(w) if e.weight() == w => {
+                            matched = Some(i);
+                            break;
+                        }
+                        Some(_) => {}
+                        // No expected weight: the first match is final.
+                        None => break,
+                    }
+                }
+                matched.or(first)?
+            }
+        };
+        Some(self.swap_remove(pos))
+    }
+
+    /// Removes the first entry that matches `dst` *and* `weight` exactly
+    /// (the transpose-side removal, where the forward side already fixed
+    /// the weight).
+    pub(crate) fn remove_exact(&mut self, dst: VertexId, weight: Weight) -> Option<Edge> {
+        let pos = match &self.index {
+            Some(index) => {
+                let positions = index.get(&dst)?;
+                let matched = positions
+                    .iter()
+                    .copied()
+                    .filter(|&p| self.edges[p as usize].weight() == weight)
+                    .min()?;
+                matched as usize
+            }
+            None => self
+                .edges
+                .iter()
+                .position(|e| e.to() == dst && e.weight() == weight)?,
+        };
+        Some(self.swap_remove(pos))
+    }
+
+    /// `Vec::swap_remove` plus index maintenance: the entry previously at
+    /// the tail now lives at `pos`, so its recorded position is rewritten.
+    fn swap_remove(&mut self, pos: usize) -> Edge {
+        let last = self.edges.len() - 1;
+        let removed = self.edges.swap_remove(pos);
+        if let Some(index) = &mut self.index {
+            // Drop `pos` from the removed entry's position list (positions
+            // are unique across the whole index, so exactly one hit).
+            let positions = index
+                .get_mut(&removed.to())
+                .expect("indexed edge missing its position list");
+            let i = positions
+                .iter()
+                .position(|&p| p as usize == pos)
+                .expect("indexed edge missing its own position");
+            positions.swap_remove(i);
+            if positions.is_empty() {
+                index.remove(&removed.to());
+            }
+            if pos != last {
+                // The former tail entry moved into `pos`.
+                let moved = self.edges[pos];
+                let positions = index
+                    .get_mut(&moved.to())
+                    .expect("moved edge missing its position list");
+                let j = positions
+                    .iter()
+                    .position(|&p| p as usize == last)
+                    .expect("moved edge missing its tail position");
+                positions[j] = pos as u32;
+            }
+        }
+        removed
+    }
+
+    /// Internal consistency check used by tests: every index entry points
+    /// at an edge with that destination, and every edge is indexed.
+    #[cfg(test)]
+    fn check_index(&self) {
+        let Some(index) = &self.index else { return };
+        let mut seen = 0;
+        for (dst, positions) in index.iter() {
+            assert!(!positions.is_empty(), "empty position list for {dst}");
+            for &p in positions {
+                assert_eq!(self.edges[p as usize].to(), *dst, "stale position");
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, self.edges.len(), "index does not cover the list");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(x: f64) -> Weight {
+        Weight::new(x).unwrap()
+    }
+
+    fn v(x: u32) -> VertexId {
+        VertexId::new(x)
+    }
+
+    fn e(to: u32, weight: f64) -> Edge {
+        Edge::new(v(to), w(weight))
+    }
+
+    /// Two lists driven by the same operations, one never promoted and one
+    /// promoted immediately, must remain bit-identical slices.
+    fn pair() -> (AdjacencyList, AdjacencyList) {
+        (AdjacencyList::default(), AdjacencyList::default())
+    }
+
+    #[test]
+    fn promotion_happens_once_at_threshold() {
+        let mut list = AdjacencyList::default();
+        assert!(!list.push(e(0, 1.0), 2));
+        assert!(!list.push(e(1, 1.0), 2));
+        assert!(list.push(e(2, 1.0), 2), "third push crosses threshold 2");
+        assert!(list.is_indexed());
+        assert!(!list.push(e(3, 1.0), 2), "already promoted");
+        list.check_index();
+    }
+
+    #[test]
+    fn indexed_lookups_match_naive() {
+        let (mut naive, mut hybrid) = pair();
+        for i in 0..20u32 {
+            let edge = e(i % 5, f64::from(i % 3 + 1));
+            naive.push(edge, usize::MAX);
+            hybrid.push(edge, 0);
+        }
+        hybrid.check_index();
+        for d in 0..7u32 {
+            assert_eq!(naive.contains(v(d)), hybrid.contains(v(d)), "dst {d}");
+            assert_eq!(
+                naive.first_weight(v(d)),
+                hybrid.first_weight(v(d)),
+                "dst {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn weight_preferred_removal_matches_naive_layout() {
+        let (mut naive, mut hybrid) = pair();
+        let edges = [e(1, 1.0), e(2, 2.0), e(1, 3.0), e(1, 1.0), e(2, 1.0)];
+        for edge in edges {
+            naive.push(edge, usize::MAX);
+            hybrid.push(edge, 1);
+        }
+        // Prefer the exact weight among parallel edges...
+        let a = naive.remove_weight_preferred(v(1), Some(w(3.0)));
+        let b = hybrid.remove_weight_preferred(v(1), Some(w(3.0)));
+        assert_eq!(a, b);
+        assert_eq!(a.unwrap().weight(), w(3.0));
+        // ... fall back to the first entry when no weight matches ...
+        let a = naive.remove_weight_preferred(v(1), Some(w(9.0)));
+        let b = hybrid.remove_weight_preferred(v(1), Some(w(9.0)));
+        assert_eq!(a, b);
+        // ... and the layouts (swap_remove shuffles) stay identical.
+        assert_eq!(naive.as_slice(), hybrid.as_slice());
+        hybrid.check_index();
+    }
+
+    #[test]
+    fn remove_exact_requires_the_weight() {
+        let mut list = AdjacencyList::default();
+        list.push(e(1, 1.0), 0);
+        assert!(list.remove_exact(v(1), w(2.0)).is_none());
+        assert_eq!(list.remove_exact(v(1), w(1.0)), Some(e(1, 1.0)));
+        assert!(list.as_slice().is_empty());
+        list.check_index();
+    }
+
+    #[test]
+    fn removing_the_tail_entry_keeps_index_consistent() {
+        let mut list = AdjacencyList::default();
+        list.push(e(1, 1.0), 0);
+        list.push(e(2, 2.0), 0);
+        assert_eq!(list.remove_exact(v(2), w(2.0)), Some(e(2, 2.0)));
+        list.check_index();
+        assert!(list.contains(v(1)));
+        assert!(!list.contains(v(2)));
+    }
+
+    #[test]
+    fn swap_remove_with_shared_destination_updates_positions() {
+        let mut list = AdjacencyList::default();
+        // Three parallel edges to the same destination: removing the first
+        // moves the last into its slot, within the same position list.
+        list.push(e(7, 1.0), 0);
+        list.push(e(7, 2.0), 0);
+        list.push(e(7, 3.0), 0);
+        assert_eq!(list.remove_exact(v(7), w(1.0)), Some(e(7, 1.0)));
+        list.check_index();
+        assert_eq!(list.as_slice(), &[e(7, 3.0), e(7, 2.0)]);
+        assert_eq!(list.first_weight(v(7)), Some(w(3.0)));
+    }
+
+    #[test]
+    fn missing_destination_removals_return_none() {
+        let (mut naive, mut hybrid) = pair();
+        naive.push(e(1, 1.0), usize::MAX);
+        hybrid.push(e(1, 1.0), 0);
+        assert!(naive.remove_weight_preferred(v(5), None).is_none());
+        assert!(hybrid.remove_weight_preferred(v(5), None).is_none());
+        assert!(hybrid.remove_exact(v(5), w(1.0)).is_none());
+    }
+}

@@ -35,16 +35,121 @@ pub struct Csr {
     edges: Vec<Edge>,
 }
 
+/// Below this many total edges, the parallel fill falls back to the serial
+/// loop: spawning threads costs more than copying a few thousand rows.
+const PARALLEL_FILL_MIN_EDGES: usize = 1 << 14;
+
 impl Csr {
-    /// Builds a CSR from per-vertex adjacency lists.
-    pub fn from_adjacency(adjacency: &[Vec<Edge>]) -> Self {
-        let mut offsets = Vec::with_capacity(adjacency.len() + 1);
-        let mut edges = Vec::with_capacity(adjacency.iter().map(Vec::len).sum());
+    /// Builds a CSR from per-vertex adjacency lists (anything slice-like:
+    /// `Vec<Edge>` or the hybrid adjacency used by
+    /// [`DynamicGraph`](crate::DynamicGraph)).
+    pub fn from_adjacency<L: AsRef<[Edge]>>(adjacency: &[L]) -> Self {
+        let (offsets, total) = Self::prefix_offsets(adjacency, Vec::new());
+        let mut edges = Vec::new();
+        edges.resize(total, Edge::new(VertexId::new(0), Weight::ONE));
+        Self::fill_serial(adjacency, offsets, edges)
+    }
+
+    /// Degree prefix sums into a (reused) offsets buffer; returns the
+    /// buffer and the total edge count.
+    fn prefix_offsets<L: AsRef<[Edge]>>(
+        adjacency: &[L],
+        mut offsets: Vec<u64>,
+    ) -> (Vec<u64>, usize) {
+        offsets.clear();
+        offsets.reserve(adjacency.len() + 1);
         offsets.push(0);
+        let mut total = 0u64;
         for list in adjacency {
-            edges.extend_from_slice(list);
-            offsets.push(edges.len() as u64);
+            total += list.as_ref().len() as u64;
+            offsets.push(total);
         }
+        (offsets, total as usize)
+    }
+
+    /// Single-threaded row fill (the reference the parallel path must
+    /// match byte for byte).
+    fn fill_serial<L: AsRef<[Edge]>>(
+        adjacency: &[L],
+        offsets: Vec<u64>,
+        mut edges: Vec<Edge>,
+    ) -> Self {
+        for (v, list) in adjacency.iter().enumerate() {
+            let lo = offsets[v] as usize;
+            let hi = offsets[v + 1] as usize;
+            edges[lo..hi].copy_from_slice(list.as_ref());
+        }
+        Self { offsets, edges }
+    }
+
+    /// Builds a CSR from per-vertex adjacency lists, filling disjoint row
+    /// segments with up to `threads` worker threads.
+    ///
+    /// The offsets (degree prefix sums) are computed serially, the vertex
+    /// range is partitioned into contiguous segments balanced by edge
+    /// count, and each worker copies its rows into its disjoint slice of
+    /// the edge array — so the output is **byte-identical** to
+    /// [`Csr::from_adjacency`] at any thread count (pinned by a unit test
+    /// and by the serving-layer equivalence tests).
+    pub fn from_adjacency_parallel<L>(adjacency: &[L], threads: usize) -> Self
+    where
+        L: AsRef<[Edge]> + Sync,
+    {
+        Self::fill_from_adjacency(adjacency, Vec::new(), Vec::new(), threads)
+    }
+
+    /// Shared builder behind the `from_adjacency*` entry points and the
+    /// [`SnapshotScratch`] reuse path: clears and refills the supplied
+    /// buffers (reusing their capacity) instead of allocating fresh ones.
+    pub(crate) fn fill_from_adjacency<L>(
+        adjacency: &[L],
+        offsets: Vec<u64>,
+        mut edges: Vec<Edge>,
+        threads: usize,
+    ) -> Self
+    where
+        L: AsRef<[Edge]> + Sync,
+    {
+        let (offsets, total) = Self::prefix_offsets(adjacency, offsets);
+        edges.clear();
+        edges.resize(total, Edge::new(VertexId::new(0), Weight::ONE));
+
+        let threads = threads.clamp(1, adjacency.len().max(1));
+        if threads == 1 || total < PARALLEL_FILL_MIN_EDGES {
+            return Self::fill_serial(adjacency, offsets, edges);
+        }
+
+        // Cut the vertex range into `threads` contiguous segments of
+        // roughly equal *edge* count (vertex count alone would hand one
+        // worker all the hubs of a skewed graph).
+        let per_worker = total.div_ceil(threads);
+        let mut cuts = vec![0usize];
+        for (v, &offset) in offsets.iter().enumerate().take(adjacency.len()).skip(1) {
+            if offset as usize >= cuts.len() * per_worker {
+                cuts.push(v);
+            }
+        }
+        cuts.push(adjacency.len());
+
+        let offsets_ref = &offsets;
+        crossbeam::thread::scope(|s| {
+            let mut rest: &mut [Edge] = &mut edges;
+            for pair in cuts.windows(2) {
+                let (lo_v, hi_v) = (pair[0], pair[1]);
+                let base = offsets_ref[lo_v] as usize;
+                let seg_len = offsets_ref[hi_v] as usize - base;
+                let (segment, tail) = rest.split_at_mut(seg_len);
+                rest = tail;
+                s.spawn(move |_| {
+                    for v in lo_v..hi_v {
+                        let lo = offsets_ref[v] as usize - base;
+                        let hi = offsets_ref[v + 1] as usize - base;
+                        segment[lo..hi].copy_from_slice(adjacency[v].as_ref());
+                    }
+                });
+            }
+        })
+        .expect("csr fill workers never panic");
         Self { offsets, edges }
     }
 
@@ -117,15 +222,42 @@ impl Csr {
 
     /// Builds the transpose CSR (in-edges become out-edges).
     pub fn transpose(&self) -> Csr {
+        self.fill_transpose(Vec::new(), Vec::new())
+    }
+
+    /// Transpose into caller-supplied buffers (capacity reuse): count
+    /// in-degrees, prefix-sum, then scatter every edge in encounter order —
+    /// the same order the historical triple-collecting implementation
+    /// produced, without materializing the O(E) triple list.
+    pub(crate) fn fill_transpose(&self, mut offsets: Vec<u64>, mut edges: Vec<Edge>) -> Csr {
         let n = self.num_vertices();
-        let triples = (0..n).flat_map(|u| {
-            let u = VertexId::from_index(u);
-            self.neighbors(u)
-                .iter()
-                .map(move |e| (e.to(), u, e.weight()))
-        });
-        // Collecting through from_edge_triples keeps the build O(V + E).
-        Csr::from_edge_triples(n, triples.collect::<Vec<_>>())
+        offsets.clear();
+        offsets.resize(n + 1, 0);
+        for e in &self.edges {
+            offsets[e.to().index() + 1] += 1;
+        }
+        for v in 0..n {
+            offsets[v + 1] += offsets[v];
+        }
+        edges.clear();
+        edges.resize(self.edges.len(), Edge::new(VertexId::new(0), Weight::ONE));
+        let mut cursor = offsets.clone();
+        for u in 0..n {
+            let src = VertexId::from_index(u);
+            let row = &self.edges[self.offsets[u] as usize..self.offsets[u + 1] as usize];
+            for e in row {
+                let slot = cursor[e.to().index()];
+                edges[slot as usize] = Edge::new(src, e.weight());
+                cursor[e.to().index()] += 1;
+            }
+        }
+        Csr { offsets, edges }
+    }
+
+    /// Consumes the CSR, handing back its raw buffers for reuse (the
+    /// [`SnapshotScratch`] recycling path).
+    pub(crate) fn into_buffers(self) -> (Vec<u64>, Vec<Edge>) {
+        (self.offsets, self.edges)
     }
 }
 
@@ -163,6 +295,18 @@ impl Snapshot {
         Self { forward, reverse }
     }
 
+    /// Assembles a snapshot from a forward CSR and a pre-computed
+    /// transpose. Crate-internal: callers must guarantee `reverse` really
+    /// is `forward.transpose()` (the scratch-buffer snapshot path does).
+    pub(crate) fn from_parts(forward: Csr, reverse: Csr) -> Self {
+        Self { forward, reverse }
+    }
+
+    /// Consumes the snapshot, handing back both CSRs (for buffer reuse).
+    pub(crate) fn into_parts(self) -> (Csr, Csr) {
+        (self.forward, self.reverse)
+    }
+
     /// The forward (out-edge) CSR.
     #[inline]
     pub fn forward(&self) -> &Csr {
@@ -173,6 +317,56 @@ impl Snapshot {
     #[inline]
     pub fn reverse(&self) -> &Csr {
         &self.reverse
+    }
+}
+
+/// Reusable buffers for repeated snapshot materialization.
+///
+/// Each [`DynamicGraph::snapshot_with`](crate::DynamicGraph::snapshot_with)
+/// call builds its four arrays (forward/reverse offsets and edges) inside
+/// the scratch's buffers, and [`SnapshotScratch::recycle`] reclaims a
+/// snapshot the caller has finished with — so a bench or accelerator loop
+/// that snapshots after every batch reaches a steady state with **zero**
+/// per-snapshot heap allocation once capacities have grown to the
+/// high-water mark.
+///
+/// # Examples
+///
+/// ```
+/// use cisgraph_graph::{DynamicGraph, GraphView, SnapshotScratch};
+/// use cisgraph_types::{VertexId, Weight};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = DynamicGraph::new(2);
+/// g.insert_edge(VertexId::new(0), VertexId::new(1), Weight::new(1.0)?)?;
+/// let mut scratch = SnapshotScratch::new();
+/// let snap = g.snapshot_with(&mut scratch, 1);
+/// assert_eq!(snap.num_edges(), 1);
+/// scratch.recycle(snap); // hand the buffers back for the next call
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotScratch {
+    pub(crate) forward_offsets: Vec<u64>,
+    pub(crate) forward_edges: Vec<Edge>,
+    pub(crate) reverse_offsets: Vec<u64>,
+    pub(crate) reverse_edges: Vec<Edge>,
+}
+
+impl SnapshotScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reclaims a snapshot's buffers so the next
+    /// [`DynamicGraph::snapshot_with`](crate::DynamicGraph::snapshot_with)
+    /// call reuses their capacity instead of reallocating.
+    pub fn recycle(&mut self, snapshot: Snapshot) {
+        let (forward, reverse) = snapshot.into_parts();
+        (self.forward_offsets, self.forward_edges) = forward.into_buffers();
+        (self.reverse_offsets, self.reverse_edges) = reverse.into_buffers();
     }
 }
 
@@ -259,6 +453,51 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn from_triples_rejects_oob() {
         let _ = Csr::from_edge_triples(2, vec![(v(0), v(5), w(1.0))]);
+    }
+
+    /// A deterministic skewed adjacency big enough to cross the parallel
+    /// fill threshold (one hub plus a long tail of small vertices).
+    fn skewed_adjacency() -> Vec<Vec<Edge>> {
+        let n = 512usize;
+        let mut adjacency = vec![Vec::new(); n];
+        for (u, list) in adjacency.iter_mut().enumerate() {
+            let degree = if u == 3 { 20_000 } else { (u * 7) % 23 };
+            for i in 0..degree {
+                let dst = ((u + i * 31 + 1) % n) as u32;
+                let weight = w(((u + i) % 9 + 1) as f64);
+                list.push(Edge::new(v(dst), weight));
+            }
+        }
+        assert!(
+            adjacency.iter().map(Vec::len).sum::<usize>() > super::PARALLEL_FILL_MIN_EDGES,
+            "fixture must exercise the threaded path"
+        );
+        adjacency
+    }
+
+    #[test]
+    fn parallel_fill_is_byte_identical_to_serial() {
+        let adjacency = skewed_adjacency();
+        let serial = Csr::from_adjacency(&adjacency);
+        for threads in [2, 3, 8, 64] {
+            let parallel = Csr::from_adjacency_parallel(&adjacency, threads);
+            assert_eq!(serial.offsets(), parallel.offsets(), "{threads} threads");
+            assert_eq!(serial.edges(), parallel.edges(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn buffer_reuse_is_byte_identical_to_fresh_build() {
+        let adjacency = skewed_adjacency();
+        let fresh = Csr::from_adjacency(&adjacency);
+        // Dirty buffers with stale capacity and contents.
+        let offsets = vec![99u64; 7];
+        let edges = vec![Edge::new(v(1), w(2.0)); 31];
+        let reused = Csr::fill_from_adjacency(&adjacency, offsets, edges, 4);
+        assert_eq!(fresh, reused);
+        let t = fresh.transpose();
+        let t_reused = reused.fill_transpose(vec![5u64; 3], vec![Edge::new(v(0), w(1.0)); 9]);
+        assert_eq!(t, t_reused);
     }
 
     #[test]

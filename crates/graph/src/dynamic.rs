@@ -1,7 +1,15 @@
 //! Mutable adjacency-list graph that consumes streaming updates.
 
-use crate::{Csr, Edge, GraphError, GraphView, Snapshot};
+use crate::adjacency::{AdjacencyList, DEFAULT_PROMOTION_THRESHOLD};
+use crate::{Csr, Edge, GraphError, GraphView, Snapshot, SnapshotScratch};
 use cisgraph_types::{EdgeUpdate, UpdateKind, VertexId, Weight};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Batches shorter than this skip the pre-grouping reservation pass: the
+/// scratch hash maps cost more than the handful of `Vec` growths they
+/// would save.
+const BATCH_PREGROUP_MIN: usize = 32;
 
 /// A mutable directed graph keeping both out- and in-adjacency.
 ///
@@ -9,6 +17,15 @@ use cisgraph_types::{EdgeUpdate, UpdateKind, VertexId, Weight};
 /// arrive. Maintaining the transpose alongside the forward adjacency costs
 /// 2× memory but makes deletion repair (recomputing a vertex from its
 /// in-neighbors) O(in-degree) instead of O(E).
+///
+/// Storage is *degree-adaptive* (see `docs/graph-storage.md`): each
+/// per-vertex list starts as a plain vector, and once it crosses the
+/// promotion threshold ([`DEFAULT_PROMOTION_THRESHOLD`] unless overridden
+/// via [`DynamicGraph::with_promotion_threshold`]) it grows a
+/// `destination -> positions` index, making deletion and membership tests
+/// on hub vertices O(1) expected instead of O(degree). The adjacency
+/// *layout* — and therefore every [`GraphView`] slice and [`Snapshot`] —
+/// is bit-identical to the naive representation under any update sequence.
 ///
 /// Parallel edges are permitted; deletion removes one matching edge.
 ///
@@ -28,21 +45,54 @@ use cisgraph_types::{EdgeUpdate, UpdateKind, VertexId, Weight};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct DynamicGraph {
-    out: Vec<Vec<Edge>>,
-    inc: Vec<Vec<Edge>>,
+    out: Vec<AdjacencyList>,
+    inc: Vec<AdjacencyList>,
     num_edges: usize,
+    /// Degree beyond which a list gains its destination index.
+    threshold: usize,
+    /// Lifetime count of list promotions (out- and in-lists both count).
+    promotions: u64,
+}
+
+impl Default for DynamicGraph {
+    fn default() -> Self {
+        Self::new(0)
+    }
 }
 
 impl DynamicGraph {
-    /// Creates an empty graph with `num_vertices` isolated vertices.
+    /// Creates an empty graph with `num_vertices` isolated vertices and the
+    /// default promotion threshold.
     pub fn new(num_vertices: usize) -> Self {
+        Self::with_promotion_threshold(num_vertices, DEFAULT_PROMOTION_THRESHOLD)
+    }
+
+    /// Creates an empty graph whose adjacency lists promote to the indexed
+    /// representation once they exceed `threshold` entries. Pass
+    /// `usize::MAX` to pin the naive (never-indexed) representation — the
+    /// storage-equivalence tests and the pre-optimization bench baseline
+    /// use exactly that.
+    pub fn with_promotion_threshold(num_vertices: usize, threshold: usize) -> Self {
         Self {
-            out: vec![Vec::new(); num_vertices],
-            inc: vec![Vec::new(); num_vertices],
+            out: vec![AdjacencyList::default(); num_vertices],
+            inc: vec![AdjacencyList::default(); num_vertices],
             num_edges: 0,
+            threshold,
+            promotions: 0,
         }
+    }
+
+    /// The degree beyond which adjacency lists grow a destination index.
+    pub fn promotion_threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// How many adjacency lists (out- and in-lists both count) have been
+    /// promoted to the indexed representation so far.
+    pub fn index_promotions(&self) -> u64 {
+        self.promotions
     }
 
     /// Builds a graph from an edge triple list, sizing the vertex set to the
@@ -63,8 +113,8 @@ impl DynamicGraph {
     }
 
     fn grow(&mut self, num_vertices: usize) {
-        self.out.resize_with(num_vertices, Vec::new);
-        self.inc.resize_with(num_vertices, Vec::new);
+        self.out.resize_with(num_vertices, AdjacencyList::default);
+        self.inc.resize_with(num_vertices, AdjacencyList::default);
     }
 
     fn check(&self, v: VertexId) -> Result<(), GraphError> {
@@ -78,8 +128,12 @@ impl DynamicGraph {
     }
 
     fn insert_edge_unchecked(&mut self, u: VertexId, v: VertexId, w: Weight) {
-        self.out[u.index()].push(Edge::new(v, w));
-        self.inc[v.index()].push(Edge::new(u, w));
+        if self.out[u.index()].push(Edge::new(v, w), self.threshold) {
+            self.promotions += 1;
+        }
+        if self.inc[v.index()].push(Edge::new(u, w), self.threshold) {
+            self.promotions += 1;
+        }
         self.num_edges += 1;
     }
 
@@ -99,7 +153,9 @@ impl DynamicGraph {
     /// Removes one edge `u -> v`, returning its weight.
     ///
     /// If parallel edges exist, the one matching `expect_weight` is preferred;
-    /// otherwise the first `u -> v` entry is removed.
+    /// otherwise the first `u -> v` entry is removed. On an indexed hub list
+    /// this is O(multiplicity) expected; the unindexed fallback is a single
+    /// linear pass tracking both the exact-weight match and the first match.
     ///
     /// # Errors
     ///
@@ -113,24 +169,12 @@ impl DynamicGraph {
     ) -> Result<Weight, GraphError> {
         self.check(u)?;
         self.check(v)?;
-        let out = &mut self.out[u.index()];
-        let pos = match expect_weight {
-            Some(w) => out
-                .iter()
-                .position(|e| e.to() == v && e.weight() == w)
-                .or_else(|| out.iter().position(|e| e.to() == v)),
-            None => out.iter().position(|e| e.to() == v),
-        };
-        let Some(pos) = pos else {
-            return Err(GraphError::EdgeNotFound { src: u, dst: v });
-        };
-        let removed = out.swap_remove(pos);
-        let inc = &mut self.inc[v.index()];
-        let ipos = inc
-            .iter()
-            .position(|e| e.to() == u && e.weight() == removed.weight())
+        let removed = self.out[u.index()]
+            .remove_weight_preferred(v, expect_weight)
+            .ok_or(GraphError::EdgeNotFound { src: u, dst: v })?;
+        self.inc[v.index()]
+            .remove_exact(u, removed.weight())
             .expect("in-adjacency out of sync with out-adjacency");
-        inc.swap_remove(ipos);
         self.num_edges -= 1;
         Ok(removed.weight())
     }
@@ -152,46 +196,181 @@ impl DynamicGraph {
 
     /// Applies a whole batch, stopping at the first error.
     ///
+    /// Large batches take a fast path: a pre-pass groups the batch's
+    /// insertions by endpoint so every touched adjacency list reserves its
+    /// full growth once, up front, instead of reallocating incrementally.
+    /// Updates are then applied **in stream order** — reordering by source
+    /// would change the adjacency layout (and the error-prefix semantics
+    /// below), which the storage-equivalence guarantee forbids.
+    ///
+    /// When the metrics sink is enabled this records `graph.inserts`,
+    /// `graph.deletes`, `graph.index_promotions` counters and the
+    /// `graph.apply_batch_ns` histogram.
+    ///
     /// # Errors
     ///
     /// Same as [`DynamicGraph::apply`]; the graph retains all updates applied
     /// before the failure.
     pub fn apply_batch(&mut self, batch: &[EdgeUpdate]) -> Result<(), GraphError> {
+        let obs_on = cisgraph_obs::enabled();
+        let start = obs_on.then(Instant::now);
+        let promotions_before = self.promotions;
+        if batch.len() >= BATCH_PREGROUP_MIN {
+            self.reserve_for_batch(batch);
+        }
+        let mut inserts = 0u64;
+        let mut deletes = 0u64;
+        let mut first_err = None;
         for &u in batch {
-            self.apply(u)?;
+            if let Err(e) = self.apply(u) {
+                first_err = Some(e);
+                break;
+            }
+            match u.kind() {
+                UpdateKind::Insert => inserts += 1,
+                UpdateKind::Delete => deletes += 1,
+            }
         }
-        Ok(())
+        if obs_on {
+            cisgraph_obs::counter("graph.inserts").add(inserts);
+            cisgraph_obs::counter("graph.deletes").add(deletes);
+            cisgraph_obs::counter("graph.index_promotions")
+                .add(self.promotions - promotions_before);
+            if let Some(start) = start {
+                cisgraph_obs::histogram("graph.apply_batch_ns")
+                    .record(start.elapsed().as_nanos() as u64);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
-    /// Whether at least one `u -> v` edge exists.
+    /// The batch fast-path pre-pass: tally per-endpoint insertion counts so
+    /// each touched list is located and grown exactly once. Out-of-bounds
+    /// endpoints are skipped here — `apply` reports them in stream order.
+    fn reserve_for_batch(&mut self, batch: &[EdgeUpdate]) {
+        // Dense tallies (one u32 per vertex, zeroed once) when the batch is
+        // large relative to the vertex count; hashed tallies otherwise, so
+        // a small batch on a huge graph never pays an O(V) memset.
+        if batch.len() >= self.out.len() / 8 {
+            let mut out_extra = vec![0u32; self.out.len()];
+            let mut inc_extra = vec![0u32; self.inc.len()];
+            for u in batch {
+                if matches!(u.kind(), UpdateKind::Insert) {
+                    if let Some(c) = out_extra.get_mut(u.src().index()) {
+                        *c += 1;
+                    }
+                    if let Some(c) = inc_extra.get_mut(u.dst().index()) {
+                        *c += 1;
+                    }
+                }
+            }
+            for (list, &extra) in self.out.iter_mut().zip(&out_extra) {
+                if extra > 0 {
+                    list.reserve(extra as usize);
+                }
+            }
+            for (list, &extra) in self.inc.iter_mut().zip(&inc_extra) {
+                if extra > 0 {
+                    list.reserve(extra as usize);
+                }
+            }
+        } else {
+            let mut out_extra: HashMap<usize, usize> = HashMap::new();
+            let mut inc_extra: HashMap<usize, usize> = HashMap::new();
+            for u in batch {
+                if matches!(u.kind(), UpdateKind::Insert) {
+                    *out_extra.entry(u.src().index()).or_insert(0) += 1;
+                    *inc_extra.entry(u.dst().index()).or_insert(0) += 1;
+                }
+            }
+            for (v, extra) in out_extra {
+                if let Some(list) = self.out.get_mut(v) {
+                    list.reserve(extra);
+                }
+            }
+            for (v, extra) in inc_extra {
+                if let Some(list) = self.inc.get_mut(v) {
+                    list.reserve(extra);
+                }
+            }
+        }
+    }
+
+    /// Whether at least one `u -> v` edge exists. O(1) expected on indexed
+    /// hub lists.
     pub fn contains_edge(&self, u: VertexId, v: VertexId) -> bool {
-        u.index() < self.out.len() && self.out[u.index()].iter().any(|e| e.to() == v)
+        u.index() < self.out.len() && self.out[u.index()].contains(v)
     }
 
-    /// Returns the weight of the first `u -> v` edge, if any.
+    /// Returns the weight of the first `u -> v` edge, if any. O(1) expected
+    /// on indexed hub lists.
     pub fn edge_weight(&self, u: VertexId, v: VertexId) -> Option<Weight> {
-        if u.index() >= self.out.len() {
-            return None;
-        }
-        self.out[u.index()]
-            .iter()
-            .find(|e| e.to() == v)
-            .map(|e| e.weight())
+        self.out.get(u.index())?.first_weight(v)
     }
 
     /// Materializes an immutable CSR [`Snapshot`] of the current topology.
+    ///
+    /// When the metrics sink is enabled the build time is recorded into the
+    /// `graph.snapshot_build_ns` histogram (all snapshot variants share it).
     pub fn snapshot(&self) -> Snapshot {
+        let start = cisgraph_obs::enabled().then(Instant::now);
         let forward = Csr::from_adjacency(&self.out);
-        Snapshot::from_forward(forward)
+        let snap = Snapshot::from_forward(forward);
+        record_snapshot_build(start);
+        snap
+    }
+
+    /// Like [`DynamicGraph::snapshot`] but fills the forward CSR's rows
+    /// with up to `threads` worker threads. The result is byte-identical
+    /// to the serial build at any thread count.
+    pub fn snapshot_parallel(&self, threads: usize) -> Snapshot {
+        let start = cisgraph_obs::enabled().then(Instant::now);
+        let forward = Csr::from_adjacency_parallel(&self.out, threads);
+        let snap = Snapshot::from_forward(forward);
+        record_snapshot_build(start);
+        snap
+    }
+
+    /// Like [`DynamicGraph::snapshot_parallel`] but builds into (and so
+    /// reuses the capacity of) `scratch`'s buffers. Call
+    /// [`SnapshotScratch::recycle`] with the previous snapshot first to
+    /// make a repeated snapshot loop allocation-free at steady state.
+    pub fn snapshot_with(&self, scratch: &mut SnapshotScratch, threads: usize) -> Snapshot {
+        let start = cisgraph_obs::enabled().then(Instant::now);
+        let forward = Csr::fill_from_adjacency(
+            &self.out,
+            std::mem::take(&mut scratch.forward_offsets),
+            std::mem::take(&mut scratch.forward_edges),
+            threads,
+        );
+        let reverse = forward.fill_transpose(
+            std::mem::take(&mut scratch.reverse_offsets),
+            std::mem::take(&mut scratch.reverse_edges),
+        );
+        let snap = Snapshot::from_parts(forward, reverse);
+        record_snapshot_build(start);
+        snap
     }
 
     /// Iterates over every edge as `(src, dst, weight)` triples.
     pub fn iter_edges(&self) -> impl Iterator<Item = (VertexId, VertexId, Weight)> + '_ {
         self.out.iter().enumerate().flat_map(|(u, edges)| {
             edges
+                .as_slice()
                 .iter()
                 .map(move |e| (VertexId::from_index(u), e.to(), e.weight()))
         })
+    }
+}
+
+/// Records elapsed time into the shared snapshot-build histogram.
+fn record_snapshot_build(start: Option<Instant>) {
+    if let Some(start) = start {
+        cisgraph_obs::histogram("graph.snapshot_build_ns")
+            .record(start.elapsed().as_nanos() as u64);
     }
 }
 
@@ -205,11 +384,11 @@ impl GraphView for DynamicGraph {
     }
 
     fn out_edges(&self, v: VertexId) -> &[Edge] {
-        &self.out[v.index()]
+        self.out[v.index()].as_slice()
     }
 
     fn in_edges(&self, v: VertexId) -> &[Edge] {
-        &self.inc[v.index()]
+        self.inc[v.index()].as_slice()
     }
 }
 
@@ -277,6 +456,20 @@ mod tests {
     }
 
     #[test]
+    fn remove_prefers_matching_weight_on_indexed_lists() {
+        // Same scenario as above, but past the promotion threshold so the
+        // indexed removal path is exercised.
+        let mut g = DynamicGraph::with_promotion_threshold(3, 1);
+        g.insert_edge(v(0), v(1), w(1.0)).unwrap();
+        g.insert_edge(v(0), v(1), w(5.0)).unwrap();
+        g.insert_edge(v(0), v(2), w(9.0)).unwrap();
+        assert!(g.index_promotions() > 0, "threshold 1 must promote");
+        let removed = g.remove_edge(v(0), v(1), Some(w(5.0))).unwrap();
+        assert_eq!(removed, w(5.0));
+        assert_eq!(g.edge_weight(v(0), v(1)), Some(w(1.0)));
+    }
+
+    #[test]
     fn remove_missing_edge_errors() {
         let mut g = DynamicGraph::new(2);
         let err = g.remove_edge(v(0), v(1), None).unwrap_err();
@@ -303,6 +496,55 @@ mod tests {
         g.apply_batch(&batch).unwrap();
         assert_eq!(g.num_edges(), 1);
         assert!(g.contains_edge(v(1), v(2)));
+    }
+
+    #[test]
+    fn large_batch_fast_path_matches_per_update_application() {
+        // Past BATCH_PREGROUP_MIN the reservation pre-pass kicks in; the
+        // result must be indistinguishable from applying one-by-one.
+        let n = 16u32;
+        let mut batch = Vec::new();
+        for i in 0..(BATCH_PREGROUP_MIN as u32 * 4) {
+            batch.push(EdgeUpdate::insert(
+                v(i % n),
+                v((i * 13 + 1) % n),
+                w(f64::from(i % 5 + 1)),
+            ));
+            if i % 3 == 0 {
+                batch.push(EdgeUpdate::delete(
+                    v(i % n),
+                    v((i * 13 + 1) % n),
+                    w(f64::from(i % 5 + 1)),
+                ));
+            }
+        }
+        assert!(batch.len() >= BATCH_PREGROUP_MIN);
+        let mut fast = DynamicGraph::new(n as usize);
+        fast.apply_batch(&batch).unwrap();
+        let mut slow = DynamicGraph::new(n as usize);
+        for &u in &batch {
+            slow.apply(u).unwrap();
+        }
+        for u in 0..n {
+            assert_eq!(fast.out_edges(v(u)), slow.out_edges(v(u)), "out {u}");
+            assert_eq!(fast.in_edges(v(u)), slow.in_edges(v(u)), "in {u}");
+        }
+        assert_eq!(fast.num_edges(), slow.num_edges());
+    }
+
+    #[test]
+    fn large_batch_error_retains_prefix() {
+        // A failing delete in the middle of a fast-path batch must keep
+        // everything applied before it — the reservation pre-pass must not
+        // change error semantics.
+        let mut batch: Vec<EdgeUpdate> = (0..BATCH_PREGROUP_MIN as u32 * 2)
+            .map(|i| EdgeUpdate::insert(v(0), v(1), w(f64::from(i + 1))))
+            .collect();
+        batch.insert(40, EdgeUpdate::delete(v(0), v(3), w(1.0)));
+        let mut g = DynamicGraph::new(4);
+        let err = g.apply_batch(&batch).unwrap_err();
+        assert!(matches!(err, GraphError::EdgeNotFound { .. }));
+        assert_eq!(g.num_edges(), 40, "prefix before the failure is retained");
     }
 
     #[test]
@@ -341,5 +583,39 @@ mod tests {
         assert_eq!(s.num_edges(), 3);
         assert_eq!(s.out_degree(v(0)), 2);
         assert_eq!(s.in_degree(v(1)), 2);
+    }
+
+    #[test]
+    fn snapshot_variants_are_identical() {
+        let mut g = DynamicGraph::new(64);
+        for i in 0..4096u32 {
+            g.insert_edge(v(i % 64), v((i * 7 + 3) % 64), w(f64::from(i % 9 + 1)))
+                .unwrap();
+        }
+        let serial = g.snapshot();
+        assert_eq!(serial, g.snapshot_parallel(4));
+        let mut scratch = SnapshotScratch::new();
+        let first = g.snapshot_with(&mut scratch, 4);
+        assert_eq!(serial, first);
+        // Recycle and rebuild: the reused buffers must not leak stale data.
+        scratch.recycle(first);
+        assert_eq!(serial, g.snapshot_with(&mut scratch, 2));
+    }
+
+    #[test]
+    fn promotion_threshold_is_respected() {
+        let mut g = DynamicGraph::with_promotion_threshold(4, 2);
+        assert_eq!(g.promotion_threshold(), 2);
+        g.insert_edge(v(0), v(1), w(1.0)).unwrap();
+        g.insert_edge(v(0), v(2), w(1.0)).unwrap();
+        assert_eq!(g.index_promotions(), 0, "at threshold, not past it");
+        g.insert_edge(v(0), v(3), w(1.0)).unwrap();
+        assert_eq!(g.index_promotions(), 1, "out-list of v0 crossed");
+        // The naive-pinned configuration never promotes.
+        let mut naive = DynamicGraph::with_promotion_threshold(4, usize::MAX);
+        for _ in 0..100 {
+            naive.insert_edge(v(0), v(1), w(1.0)).unwrap();
+        }
+        assert_eq!(naive.index_promotions(), 0);
     }
 }

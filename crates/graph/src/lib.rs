@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adjacency;
 mod csr;
 mod dynamic;
 mod edge;
@@ -47,7 +48,8 @@ mod shared;
 mod stats;
 mod view;
 
-pub use csr::{Csr, Snapshot};
+pub use adjacency::DEFAULT_PROMOTION_THRESHOLD;
+pub use csr::{Csr, Snapshot, SnapshotScratch};
 pub use dynamic::DynamicGraph;
 pub use edge::Edge;
 pub use error::GraphError;

@@ -173,6 +173,18 @@ impl HistogramSnapshot {
         self.quantile(0.99)
     }
 
+    /// Records one value into this owned snapshot (no atomics, no global
+    /// sink gate). This is the building-a-local-distribution path — e.g.
+    /// the serving layer folding per-group response times into one
+    /// histogram before taking quantiles — and it matches
+    /// [`Histogram::record_unconditional`] bucket for bucket.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(value);
+        self.max = self.max.max(value);
+    }
+
     /// Folds another snapshot in; the result equals recording both input
     /// streams into one histogram (the property tests pin this down).
     pub fn merge(&mut self, other: &HistogramSnapshot) {
@@ -296,6 +308,17 @@ mod tests {
         let xs: Vec<f64> = (1..=100).map(f64::from).collect();
         assert_eq!(percentile_f64(&xs, 0.50), Some(50.0));
         assert_eq!(percentile_f64(&xs, 0.95), Some(95.0));
+    }
+
+    #[test]
+    fn owned_record_matches_atomic_record() {
+        let h = Histogram::default();
+        let mut s = HistogramSnapshot::default();
+        for v in [0u64, 1, 7, 4096, 65535, u64::MAX] {
+            h.record_unconditional(v);
+            s.record(v);
+        }
+        assert_eq!(s, h.snapshot());
     }
 
     #[test]
