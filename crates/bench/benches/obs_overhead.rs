@@ -1,0 +1,82 @@
+//! Timed A/B of the observability layer's cost on the serving hot path.
+//!
+//! Three variants of the same `QueryServer` workload, switched via the
+//! global sink between bench functions (criterion runs them in
+//! registration order, and tracing cannot be un-enabled, so the tracing
+//! variant goes last):
+//!
+//! * `obs_off` — sink disabled: every hook short-circuits after one
+//!   relaxed atomic load. This is the default production configuration
+//!   and the baseline the other two are read against.
+//! * `obs_metrics` — counters/gauges/histograms recording.
+//! * `obs_tracing` — metrics plus the span event log.
+//!
+//! CI runs this under `--quick`; the numbers land in
+//! `target/criterion/`. The old observability check only parsed the
+//! emitted artifacts — this bench actually times the hooks, so a hook
+//! accidentally placed on a per-update (rather than per-batch) path shows
+//! up as a throughput regression instead of passing silently.
+
+use cisgraph_algo::Ppsp;
+use cisgraph_bench::{build_workload, RunConfig, WorkloadBundle};
+use cisgraph_datasets::registry;
+use cisgraph_engines::{QueryServer, ServeConfig};
+use cisgraph_obs as obs;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+/// A small fixed workload: large enough that per-batch serving dominates,
+/// small enough for the CI `--quick` smoke.
+fn workload() -> WorkloadBundle {
+    let cfg = RunConfig::builder(registry::orkut_like())
+        .scale(0.002)
+        .batch_size(400, 100)
+        .batches(4)
+        .queries(16)
+        .build();
+    build_workload(&cfg)
+}
+
+/// Serves every batch once; returns the served-query count.
+fn serve_once(bundle: &WorkloadBundle) -> usize {
+    let mut server = QueryServer::<Ppsp>::new(
+        bundle.initial.clone(),
+        &bundle.queries,
+        &ServeConfig::with_threads(2),
+    );
+    for batch in &bundle.batches {
+        server.process_batch(batch).expect("consistent workload");
+    }
+    server.num_queries() * bundle.batches.len()
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let bundle = workload();
+    let served = (bundle.queries.len() * bundle.batches.len()) as u64;
+    let mut group = c.benchmark_group("obs_overhead/serve");
+    group.throughput(Throughput::Elements(served));
+    group.sample_size(10);
+
+    group.bench_function("obs_off", |b| {
+        obs::disable();
+        b.iter(|| black_box(serve_once(&bundle)));
+    });
+    group.bench_function("obs_metrics", |b| {
+        obs::enable();
+        b.iter(|| black_box(serve_once(&bundle)));
+    });
+    group.bench_function("obs_tracing", |b| {
+        obs::enable_tracing();
+        b.iter(|| {
+            // Keep the event log from growing across iterations; clearing
+            // is part of what a tracing consumer pays.
+            obs::clear_trace();
+            black_box(serve_once(&bundle))
+        });
+    });
+    group.finish();
+    obs::disable();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

@@ -12,6 +12,7 @@
 //! --full                 paper-scale batches (50K + 50K)
 //! --metrics-out <path>   write a cisgraph-obs metrics snapshot (JSON)
 //! --trace-out <path>     write a Chrome trace_event file (implies metrics)
+//! --trace-jsonl <path>   stream span events to a JSONL file incrementally
 //! ```
 //!
 //! The observability flags are consumed by

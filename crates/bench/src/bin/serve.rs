@@ -19,6 +19,20 @@
 //! up to N); `--queries` / `--sweep-queries` set the standing-query
 //! registry sizes. The usual workload knobs (`--scale`, `--adds`,
 //! `--dels`, `--batches`, `--seed`) apply.
+//!
+//! # Durable serving
+//!
+//! `--wal-dir <dir>` switches the binary into a durable serving run: the
+//! server recovers from whatever checkpoint + WAL tail the directory
+//! holds, logs every batch to the WAL *before* applying it, and
+//! checkpoints on exit. `--fsync batch|<n>|off` picks the group-commit
+//! policy (default `batch`) and `--checkpoint-every <n>` checkpoints
+//! every `n` batches mid-run. See `docs/persistence.md`.
+//!
+//! ```text
+//! cargo run --release -p cisgraph-bench --bin serve -- \
+//!     --wal-dir /tmp/wal --fsync 32 --checkpoint-every 64 --queries 64
+//! ```
 
 use cisgraph_algo::Ppsp;
 use cisgraph_bench::args::Args;
@@ -28,8 +42,9 @@ use cisgraph_bench::{artifacts, build_workload, RunConfig, Table};
 use cisgraph_datasets::registry;
 use cisgraph_engines::{QueryServer, ServeConfig};
 use cisgraph_obs as obs;
+use cisgraph_persist::{snapshot_digest, DurableStore, FsyncPolicy, PersistConfig};
 use serde::Serialize;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One sweep cell's measurements.
 #[derive(Debug, Clone, Serialize)]
@@ -95,6 +110,66 @@ fn serve(
     (wall, shards, groups, tail, answers)
 }
 
+/// Durable serving run: recover from `wal_dir`, log every batch ahead of
+/// application, checkpoint on exit. Re-running against the same directory
+/// resumes where the previous run stopped (already-logged batches are
+/// skipped), so a kill at any point loses at most the unsynced tail.
+fn serve_durable(args: &Args, wal_dir: &str, threads: usize) {
+    let fsync: FsyncPolicy = args
+        .get_str("fsync")
+        .map(|s| s.parse().expect("--fsync takes batch|<n>|off"))
+        .unwrap_or(FsyncPolicy::EveryBatch);
+    let mut cfg = PersistConfig::new(wal_dir);
+    cfg.fsync = fsync;
+    cfg.checkpoint_every = args.get_u64("checkpoint-every");
+
+    let num_queries = args.get_usize("queries").unwrap_or(64);
+    let run = RunConfig::builder(registry::orkut_like())
+        .queries(num_queries)
+        .build()
+        .with_args(args);
+    let bundle = build_workload(&run);
+
+    let initial = bundle.initial.clone();
+    let (store, recovered) = DurableStore::open(cfg, move || initial).expect("open durable store");
+    let resume_at = usize::try_from(recovered.next_seq)
+        .unwrap_or(usize::MAX)
+        .min(bundle.batches.len());
+    obs::log!(
+        info,
+        "durable serve: recovered {} batches ({} replayed, {} truncated bytes), \
+         resuming at batch {resume_at}/{}",
+        recovered.next_seq,
+        recovered.stats.replayed_batches,
+        recovered.stats.truncated_bytes,
+        bundle.batches.len(),
+    );
+
+    let mut server = QueryServer::<Ppsp>::new(
+        recovered.graph,
+        &bundle.queries,
+        &ServeConfig::with_threads(threads),
+    );
+    server.attach_durability(store);
+    let start = Instant::now();
+    let mut wall = Duration::ZERO;
+    for batch in &bundle.batches[resume_at..] {
+        let report = server.process_batch(batch).expect("consistent workload");
+        wall += report.wall_time;
+    }
+    server.checkpoint_now().expect("final checkpoint");
+    let served = (bundle.batches.len() - resume_at) * num_queries;
+    let digest = snapshot_digest(&server.graph().snapshot());
+    println!(
+        "durable serve ({fsync} fsync): {} batches in {:.2} ms wall ({:.2} ms total), \
+         {:.0} queries/s, digest=0x{digest:08x}",
+        bundle.batches.len() - resume_at,
+        wall.as_secs_f64() * 1e3,
+        start.elapsed().as_secs_f64() * 1e3,
+        served as f64 / wall.as_secs_f64().max(1e-12),
+    );
+}
+
 fn main() {
     let args = Args::parse();
     let obs_session = ObsSession::init(&args);
@@ -103,6 +178,11 @@ fn main() {
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1)
     });
+    if let Some(dir) = args.get_str("wal-dir") {
+        serve_durable(&args, dir, max_threads);
+        obs_session.finish();
+        return;
+    }
     let query_counts: Vec<usize> = match args.get_str("sweep-queries") {
         Some(list) => list
             .split(',')

@@ -1,0 +1,366 @@
+//! Durability microbenchmark and crash-recovery smoke driver.
+//!
+//! Bench mode (the default) measures, against one deterministic workload:
+//! raw WAL append throughput under every fsync policy, the end-to-end
+//! ingest overhead of write-ahead logging versus plain `apply_batch`, and
+//! recovery replay speed. The JSON written by `--out` is the checked-in
+//! `BENCH_wal.json` baseline.
+//!
+//! ```text
+//! cargo run --release -p cisgraph-bench --bin walbench -- \
+//!     --batches 64 --assert-overhead 1.15 --out BENCH_wal.json
+//! ```
+//!
+//! The crash modes drive CI's cross-process recovery smoke: three
+//! invocations against one directory prove that a killed ingest recovers
+//! to the byte-identical snapshot an uninterrupted run produces.
+//!
+//! ```text
+//! walbench --mode crash    --dir /tmp/wal   # ingest, torn tail, record digest
+//! walbench --mode recover  --dir /tmp/wal   # recover, assert digest matches
+//! walbench --mode baseline                  # no-WAL ingest, same digest
+//! ```
+//!
+//! Knobs: `--mode bench|crash|recover|baseline`, `--dir <path>` (crash /
+//! recover state directory), `--repeats <n>` best-of timing repeats,
+//! `--assert-overhead <x>` exits non-zero if fsync-off durable ingest
+//! exceeds `x`× the no-WAL ingest time, `--out <path>`, and the usual
+//! workload knobs (`--scale`, `--adds`, `--dels`, `--batches`, `--seed`).
+
+use cisgraph_bench::args::Args;
+use cisgraph_bench::obsout::ObsSession;
+use cisgraph_bench::{artifacts, build_workload, RunConfig, WorkloadBundle};
+use cisgraph_datasets::registry;
+use cisgraph_graph::DynamicGraph;
+use cisgraph_obs as obs;
+use cisgraph_persist::{
+    recover, snapshot_digest, DurableStore, FsyncPolicy, PersistConfig, Wal, WalConfig, WalFrame,
+};
+use serde::Serialize;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Raw WAL append throughput under one fsync policy.
+#[derive(Debug, Serialize)]
+struct AppendRow {
+    fsync: String,
+    mb_per_sec: f64,
+    updates_per_sec: f64,
+}
+
+/// The `BENCH_wal.json` baseline document.
+#[derive(Debug, Serialize)]
+struct Report {
+    batches: usize,
+    updates: usize,
+    repeats: usize,
+    append: Vec<AppendRow>,
+    plain_ingest_ns: u64,
+    durable_fsync_off_ns: u64,
+    overhead: f64,
+    recovery_replay_ns: u64,
+    recovery_updates_per_sec: f64,
+}
+
+/// The deterministic workload every mode shares (so digests agree across
+/// processes given the same knobs).
+fn workload(args: &Args) -> WorkloadBundle {
+    // Big enough that per-update apply cost is realistic (the overhead
+    // gate compares against it); small enough for the CI smoke.
+    let cfg = RunConfig::builder(registry::orkut_like())
+        .scale(0.01)
+        .batch_size(2000, 500)
+        .batches(16)
+        .queries(1)
+        .build()
+        .with_args(args);
+    build_workload(&cfg)
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cisgraph_walbench_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Applies every batch to a clone of the initial graph; returns the final
+/// graph and the elapsed nanoseconds.
+fn plain_ingest(bundle: &WorkloadBundle) -> (DynamicGraph, u64) {
+    let mut graph = bundle.initial.clone();
+    let start = Instant::now();
+    for batch in &bundle.batches {
+        let _ = graph.apply_batch(batch);
+    }
+    let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    (graph, ns)
+}
+
+/// Raw append throughput of one fsync policy: bytes/sec and updates/sec
+/// over the whole batch stream, best of `repeats`.
+fn append_throughput(bundle: &WorkloadBundle, fsync: FsyncPolicy, repeats: usize) -> (f64, f64) {
+    let updates: usize = bundle.batches.iter().map(Vec::len).sum();
+    // Frame sizes are deterministic: header + count word per batch, one
+    // fixed-width record per update.
+    let bytes = bundle.batches.len() * (cisgraph_persist::FRAME_HEADER_BYTES + 4)
+        + updates * cisgraph_persist::UPDATE_BYTES;
+    let mut best_ns = u64::MAX;
+    for r in 0..repeats.max(1) {
+        let dir = fresh_dir(&format!("append_{fsync}_{r}"));
+        let mut cfg = WalConfig::new(&dir);
+        cfg.fsync = fsync;
+        let mut wal = Wal::open(cfg, 0).expect("open wal");
+        let start = Instant::now();
+        for batch in &bundle.batches {
+            wal.append(batch).expect("append");
+        }
+        wal.sync().expect("final sync");
+        best_ns = best_ns.min(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        drop(wal);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let secs = best_ns as f64 / 1e9;
+    (
+        bytes as f64 / secs.max(1e-12),
+        updates as f64 / secs.max(1e-12),
+    )
+}
+
+fn bench(args: &Args, bundle: &WorkloadBundle) {
+    let repeats = args.get_usize("repeats").unwrap_or(3);
+    let updates: usize = bundle.batches.iter().map(Vec::len).sum();
+    obs::log!(
+        info,
+        "walbench: {} batches / {updates} updates, best of {repeats}",
+        bundle.batches.len()
+    );
+
+    // --- Raw append throughput per fsync policy -------------------------
+    let policies = [
+        FsyncPolicy::EveryBatch,
+        FsyncPolicy::EveryN(32),
+        FsyncPolicy::Never,
+    ];
+    let mut append = Vec::new();
+    for &fsync in &policies {
+        let (bps, ups) = append_throughput(bundle, fsync, repeats);
+        println!(
+            "append ({fsync} fsync): {:.1} MB/s, {:.0} updates/s",
+            bps / 1e6,
+            ups
+        );
+        append.push(AppendRow {
+            fsync: fsync.to_string(),
+            mb_per_sec: bps / 1e6,
+            updates_per_sec: ups,
+        });
+    }
+
+    // --- End-to-end ingest: plain vs durable (fsync off) ----------------
+    // The two variants interleave at *batch* granularity: each batch is
+    // applied plain, then logged-and-applied durable, and the two running
+    // sums are compared. Scheduler and writeback noise lands on both sides
+    // of the pair almost equally, where phase-level timing would charge an
+    // unlucky interval to one variant. The gate reads the median ratio
+    // across repeats.
+    let mut plain_ns = u64::MAX;
+    let mut durable_ns = u64::MAX;
+    let mut ratios = Vec::new();
+    let mut last_dir = None;
+    let mut last_digest = 0u32;
+    for r in 0..repeats.max(1) {
+        // Open the store (initial checkpoint: a multi-MB write + fsync)
+        // before the timed loop, so its I/O pressure precedes both sides.
+        let dir = fresh_dir(&format!("durable_{r}"));
+        let mut cfg = PersistConfig::new(&dir);
+        cfg.fsync = FsyncPolicy::Never;
+        let initial = bundle.initial.clone();
+        let (mut store, recovered) = DurableStore::open(cfg, move || initial).expect("open store");
+        // Apply onto a clone identical to the plain side's — the recovered
+        // graph holds the same state but a checkpoint-rebuilt allocation
+        // layout, which would skew the apply-cost comparison.
+        drop(recovered);
+        let mut durable_graph = bundle.initial.clone();
+        let mut plain_graph = bundle.initial.clone();
+
+        let mut plain_r = 0u64;
+        let mut durable_r = 0u64;
+        for batch in &bundle.batches {
+            let start = Instant::now();
+            let _ = plain_graph.apply_batch(batch);
+            plain_r += u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+
+            let start = Instant::now();
+            store.log_batch(batch).expect("log");
+            let _ = durable_graph.apply_batch(batch);
+            durable_r += u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        }
+        plain_ns = plain_ns.min(plain_r);
+        durable_ns = durable_ns.min(durable_r);
+        ratios.push(durable_r as f64 / plain_r.max(1) as f64);
+        // Teardown durability (one fsync) happens outside the steady-state
+        // window the overhead gate measures.
+        store.sync().expect("final sync");
+        drop(store);
+        if let Some(prev) = last_dir.replace(dir) {
+            let _ = std::fs::remove_dir_all(prev);
+        }
+        last_digest = snapshot_digest(&durable_graph.snapshot());
+    }
+    // WAL-tail replay speed, measured once against the surviving log.
+    let dir = last_dir.expect("at least one durable repeat");
+    let initial = bundle.initial.clone();
+    let start = Instant::now();
+    let r2 = recover(&dir, move || initial).expect("recover");
+    let recover_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    assert_eq!(r2.stats.replayed_batches, bundle.batches.len() as u64);
+    assert_eq!(snapshot_digest(&r2.graph.snapshot()), last_digest);
+    let _ = std::fs::remove_dir_all(&dir);
+    ratios.sort_by(f64::total_cmp);
+    let overhead = ratios[ratios.len() / 2];
+    let recover_ups = updates as f64 / (recover_ns as f64 / 1e9).max(1e-12);
+    println!(
+        "ingest: plain {:.3} ms, durable(off) {:.3} ms ({overhead:.3}x paired overhead)",
+        plain_ns as f64 / 1e6,
+        durable_ns as f64 / 1e6,
+    );
+    println!(
+        "recovery: {:.3} ms for {updates} updates ({recover_ups:.0} updates/s)",
+        recover_ns as f64 / 1e6,
+    );
+
+    let report = Report {
+        batches: bundle.batches.len(),
+        updates,
+        repeats,
+        append,
+        plain_ingest_ns: plain_ns,
+        durable_fsync_off_ns: durable_ns,
+        overhead,
+        recovery_replay_ns: recover_ns,
+        recovery_updates_per_sec: recover_ups,
+    };
+    artifacts::write_json("walbench", &report);
+    if let Some(path) = args.get_str("out") {
+        match serde_json::to_string_pretty(&report) {
+            Ok(text) => match std::fs::write(path, text + "\n") {
+                Ok(()) => obs::log!(info, "baseline written to {path}"),
+                Err(e) => obs::log!(warn, "cannot write {path}: {e}"),
+            },
+            Err(e) => obs::log!(warn, "cannot serialize report: {e}"),
+        }
+    }
+    if let Some(limit) = args.get_f64("assert-overhead") {
+        assert!(
+            overhead <= limit,
+            "durable ingest overhead {overhead:.3}x exceeds the allowed {limit:.2}x"
+        );
+        println!("overhead gate ok: {overhead:.3}x <= {limit:.2}x");
+    }
+}
+
+/// Ingests the whole workload durably, then simulates a crash: drop the
+/// store without a final checkpoint and leave a torn half-written frame at
+/// the WAL tail. Records the expected digest for `--mode recover`.
+fn crash(args: &Args, bundle: &WorkloadBundle, dir: &Path) {
+    let _ = std::fs::remove_dir_all(dir);
+    let mut cfg = PersistConfig::new(dir);
+    cfg.fsync = FsyncPolicy::EveryBatch;
+    cfg.checkpoint_every = args.get_u64("checkpoint-every");
+    let initial = bundle.initial.clone();
+    let (mut store, recovered) = DurableStore::open(cfg, move || initial).expect("open store");
+    let mut graph = recovered.graph;
+    for batch in &bundle.batches {
+        store.log_batch(batch).expect("log");
+        let _ = graph.apply_batch(batch);
+        store.maybe_checkpoint(&graph).expect("checkpoint");
+    }
+    store.sync().expect("sync");
+    drop(store);
+
+    // Torn write: the process died mid-append of one more frame. Recovery
+    // must truncate it and land exactly on the full logged prefix.
+    let next_seq = bundle.batches.len() as u64;
+    let mut buf = cisgraph_persist::bytes::BytesMut::new();
+    let torn_batch = &bundle.batches[0];
+    let len = WalFrame::encode(next_seq, torn_batch, &mut buf);
+    let torn = &buf[..len / 2];
+    let mut seg: Vec<_> = std::fs::read_dir(dir)
+        .expect("read wal dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "seg"))
+        .collect();
+    seg.sort();
+    let last = seg.last().expect("at least one segment");
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(last)
+        .expect("open segment");
+    f.write_all(torn).expect("torn append");
+    drop(f);
+
+    let digest = snapshot_digest(&graph.snapshot());
+    std::fs::write(dir.join("expected.digest"), format!("{digest:08x}\n"))
+        .expect("write expected digest");
+    println!(
+        "crash: {} batches logged, torn tail of {} bytes appended, digest=0x{digest:08x}",
+        bundle.batches.len(),
+        len / 2,
+    );
+}
+
+/// Recovers the directory `--mode crash` damaged and asserts the snapshot
+/// digest matches the recorded expectation.
+fn recover_mode(bundle: &WorkloadBundle, dir: &Path) {
+    let initial = bundle.initial.clone();
+    let start = Instant::now();
+    let r = recover(dir, move || initial).expect("recover");
+    let elapsed = start.elapsed();
+    let digest = snapshot_digest(&r.graph.snapshot());
+    println!(
+        "recover: {} batches ({} replayed, {} torn bytes truncated) in {:.2} ms, \
+         digest=0x{digest:08x}",
+        r.next_seq,
+        r.stats.replayed_batches,
+        r.stats.truncated_bytes,
+        elapsed.as_secs_f64() * 1e3,
+    );
+    assert!(
+        r.stats.truncated_bytes > 0,
+        "the crash mode left a torn tail; recovery must have truncated it"
+    );
+    let expected = std::fs::read_to_string(dir.join("expected.digest"))
+        .expect("crash mode records expected.digest");
+    assert_eq!(
+        format!("{digest:08x}"),
+        expected.trim(),
+        "recovered snapshot diverges from the pre-crash state"
+    );
+    println!("recovery smoke ok: snapshot is byte-identical to the pre-crash state");
+}
+
+/// No-WAL reference: the digest an uninterrupted plain ingest produces.
+fn baseline(bundle: &WorkloadBundle) {
+    let (graph, ns) = plain_ingest(bundle);
+    let digest = snapshot_digest(&graph.snapshot());
+    println!(
+        "baseline: {} batches in {:.2} ms, digest=0x{digest:08x}",
+        bundle.batches.len(),
+        ns as f64 / 1e6,
+    );
+}
+
+fn main() {
+    let args = Args::parse();
+    let obs_session = ObsSession::init(&args);
+    let bundle = workload(&args);
+    let dir = PathBuf::from(args.get_str("dir").unwrap_or("target/walbench"));
+    match args.get_str("mode").unwrap_or("bench") {
+        "bench" => bench(&args, &bundle),
+        "crash" => crash(&args, &bundle, &dir),
+        "recover" => recover_mode(&bundle, &dir),
+        "baseline" => baseline(&bundle),
+        other => panic!("unknown --mode {other}; expected bench|crash|recover|baseline"),
+    }
+    obs_session.finish();
+}

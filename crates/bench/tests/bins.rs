@@ -52,3 +52,37 @@ fn fig1_reproduces_the_hazard() {
     assert!(out.contains("WRONG"));
     assert!(out.contains("Dependence repair"));
 }
+
+#[test]
+fn walbench_crash_recovery_round_trips() {
+    let dir = std::env::temp_dir().join(format!("cisgraph_bins_wal_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_str().unwrap();
+    // Small workload; crash and recover must agree on it exactly, since
+    // the recorded digest is a function of the batch stream.
+    let wl = [
+        "--scale",
+        "0.002",
+        "--adds",
+        "300",
+        "--dels",
+        "60",
+        "--batches",
+        "4",
+    ];
+    let mut crash_args = vec!["--mode", "crash", "--dir", dir_s];
+    crash_args.extend_from_slice(&wl);
+    let out = run(env!("CARGO_BIN_EXE_walbench"), &crash_args);
+    assert!(
+        out.contains("torn tail"),
+        "crash mode must tear the log:\n{out}"
+    );
+    let mut recover_args = vec!["--mode", "recover", "--dir", dir_s];
+    recover_args.extend_from_slice(&wl);
+    let out = run(env!("CARGO_BIN_EXE_walbench"), &recover_args);
+    assert!(
+        out.contains("recovery smoke ok"),
+        "recovered snapshot must be byte-identical:\n{out}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -21,13 +21,21 @@
 //! wall-clock, and every standing query's answer.
 //!
 //! When [`cisgraph_obs`] instrumentation is enabled, each served batch also
-//! publishes fan-out latency, per-query response-time histograms, and
-//! per-shard queue-depth gauges (see `docs/observability.md`).
+//! publishes fan-out latency, per-query response-time histograms,
+//! per-shard queue-depth gauges, and a `serve.shard.<i>` span per worker
+//! inside the fan-out (see `docs/observability.md`).
+//!
+//! With a [`DurableStore`] attached ([`QueryServer::attach_durability`]),
+//! every batch is appended to the write-ahead log *before* it is applied
+//! and the graph is checkpointed on the store's cadence, so a crashed
+//! server recovers to a consistent prefix of the acknowledged stream (see
+//! `docs/persistence.md`).
 
 use crate::{BatchReport, MultiQuery, ReportCore};
 use cisgraph_algo::classify::ClassificationSummary;
 use cisgraph_algo::MonotonicAlgorithm;
 use cisgraph_graph::{DynamicGraph, GraphError, SharedGraph};
+use cisgraph_persist::DurableStore;
 use cisgraph_types::{EdgeUpdate, PairQuery, State, VertexId};
 use serde::Serialize;
 use std::collections::BTreeMap;
@@ -171,6 +179,12 @@ impl ServeReport {
 pub struct QueryServer<A: MonotonicAlgorithm> {
     graph: SharedGraph,
     shards: Vec<MultiQuery<A>>,
+    /// Precomputed `serve.shard.<i>` span names, one per shard, so the
+    /// per-batch fan-out never formats strings on the hot path.
+    shard_span_names: Vec<String>,
+    /// Write-ahead durability, when attached: every batch is logged here
+    /// *before* it is applied (see [`QueryServer::attach_durability`]).
+    persist: Option<DurableStore>,
 }
 
 impl<A: MonotonicAlgorithm> QueryServer<A> {
@@ -205,7 +219,45 @@ impl<A: MonotonicAlgorithm> QueryServer<A> {
                 .collect::<Vec<_>>()
         })
         .expect("thread scope");
-        Self { graph, shards }
+        let shard_span_names = (0..shards.len())
+            .map(|i| format!("serve.shard.{i}"))
+            .collect();
+        Self {
+            graph,
+            shards,
+            shard_span_names,
+            persist: None,
+        }
+    }
+
+    /// Attaches a durability handle: from now on every
+    /// [`process_batch`](QueryServer::process_batch) call logs the batch to
+    /// the WAL before applying it, and checkpoints on the store's
+    /// configured cadence. The store should have been opened against this
+    /// server's graph (i.e. the graph passed to [`QueryServer::new`] came
+    /// out of the same [`DurableStore::open`] recovery).
+    pub fn attach_durability(&mut self, store: DurableStore) {
+        self.persist = Some(store);
+    }
+
+    /// Whether a durability handle is attached.
+    pub fn is_durable(&self) -> bool {
+        self.persist.is_some()
+    }
+
+    /// Forces an immediate checkpoint of the current graph (and a WAL
+    /// sync). No-op without an attached durability handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates persistence I/O failures as [`GraphError::Io`].
+    pub fn checkpoint_now(&mut self) -> Result<(), GraphError> {
+        if let Some(store) = &mut self.persist {
+            store
+                .checkpoint(self.graph.graph())
+                .map_err(|e| GraphError::Io(e.into()))?;
+        }
+        Ok(())
     }
 
     /// Number of shards (the per-batch fan-out width).
@@ -259,17 +311,33 @@ impl<A: MonotonicAlgorithm> QueryServer<A> {
     /// Panics if a worker thread panics.
     pub fn process_batch(&mut self, batch: &[EdgeUpdate]) -> Result<ServeReport, GraphError> {
         let _span = cisgraph_obs::span("serve.batch");
+        if let Some(store) = &mut self.persist {
+            // Log-before-apply: once a batch has touched the graph, its
+            // frame is already on the WAL, so recovery replays exactly the
+            // applied prefix (apply_batch is deterministic under errors).
+            let _wal = cisgraph_obs::span("serve.wal_append");
+            store
+                .log_batch(batch)
+                .map_err(|e| GraphError::Io(e.into()))?;
+        }
         {
             let _ingest = cisgraph_obs::span("serve.ingest");
             self.graph.apply_batch(batch)?;
         }
         let view = self.graph.graph();
         let shards = &mut self.shards;
+        let span_names = &self.shard_span_names;
         let start = Instant::now();
         let per_shard: Vec<Vec<BatchReport>> = crossbeam::thread::scope(|s| {
             let handles: Vec<_> = shards
                 .iter_mut()
-                .map(|shard| s.spawn(move |_| shard.process_batch_per_group(view, batch)))
+                .zip(span_names)
+                .map(|(shard, span_name)| {
+                    s.spawn(move |_| {
+                        let _shard_span = cisgraph_obs::span(span_name);
+                        shard.process_batch_per_group(view, batch)
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
@@ -280,6 +348,11 @@ impl<A: MonotonicAlgorithm> QueryServer<A> {
         let wall_time = start.elapsed();
         let report = self.merge(&per_shard, wall_time);
         self.record_obs(&per_shard, &report);
+        if let Some(store) = &mut self.persist {
+            store
+                .maybe_checkpoint(self.graph.graph())
+                .map_err(|e| GraphError::Io(e.into()))?;
+        }
         Ok(report)
     }
 
@@ -546,6 +619,59 @@ mod tests {
             );
         }
         assert_eq!(hist.quantile(1.0), max, "p100 stays exact");
+    }
+
+    #[test]
+    fn shard_spans_record_per_shard_histograms() {
+        cisgraph_obs::enable();
+        let (_, _) = serve_all(3);
+        let snap = cisgraph_obs::snapshot();
+        let shard_spans = snap
+            .histograms
+            .keys()
+            .filter(|k| k.starts_with("span.serve.shard."))
+            .count();
+        assert!(
+            shard_spans >= 2,
+            "expected per-shard spans, saw {:?}",
+            snap.histograms.keys().collect::<Vec<_>>()
+        );
+        assert!(snap.histograms.contains_key("span.serve.batch"));
+    }
+
+    #[test]
+    fn durable_server_recovers_to_identical_answers() {
+        use cisgraph_persist::{DurableStore, PersistConfig};
+
+        let dir =
+            std::env::temp_dir().join(format!("cisgraph_serve_durable_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (g, queries, batches) = scenario();
+        let bootstrap = move || g.clone();
+
+        // Durable run: every batch logged before application.
+        let mut cfg = PersistConfig::new(&dir);
+        cfg.checkpoint_every = Some(2);
+        let (store, recovered) = DurableStore::open(cfg.clone(), bootstrap.clone()).unwrap();
+        let mut server =
+            QueryServer::<Ppsp>::new(recovered.graph, &queries, &ServeConfig::with_threads(2));
+        server.attach_durability(store);
+        assert!(server.is_durable());
+        for batch in &batches {
+            server.process_batch(batch).unwrap();
+        }
+        let expected_answers = server.answers();
+        let expected_snapshot = server.graph().snapshot();
+        drop(server); // "crash" after the last batch
+
+        // Restart: recovery + re-registration must reproduce both the
+        // graph (byte-identically) and every standing answer.
+        let (_store, recovered) = DurableStore::open(cfg, bootstrap).unwrap();
+        assert_eq!(recovered.graph.snapshot(), expected_snapshot);
+        let server2 =
+            QueryServer::<Ppsp>::new(recovered.graph, &queries, &ServeConfig::with_threads(3));
+        assert_eq!(server2.answers(), expected_answers);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

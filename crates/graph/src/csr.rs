@@ -1,6 +1,6 @@
 //! Immutable Compressed Sparse Row storage.
 
-use crate::{Edge, GraphView};
+use crate::{Edge, GraphError, GraphView};
 use cisgraph_types::{VertexId, Weight};
 use serde::{Deserialize, Serialize};
 
@@ -225,6 +225,40 @@ impl Csr {
         self.fill_transpose(Vec::new(), Vec::new())
     }
 
+    /// Reassembles a CSR from raw buffers previously obtained via
+    /// [`Csr::offsets`] / [`Csr::edges`] (the checkpoint deserialization
+    /// path), validating the structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Parse`] if `offsets` is empty or
+    /// non-monotonic, its final entry disagrees with `edges.len()`, or an
+    /// edge targets a vertex outside `0..offsets.len() - 1`.
+    pub fn from_raw_parts(offsets: Vec<u64>, edges: Vec<Edge>) -> Result<Self, GraphError> {
+        let parse = |message: String| GraphError::Parse { line: 0, message };
+        if offsets.is_empty() {
+            return Err(parse("csr offsets array is empty".into()));
+        }
+        let n = offsets.len() - 1;
+        if offsets[0] != 0 {
+            return Err(parse(format!("csr offsets start at {}, not 0", offsets[0])));
+        }
+        if let Some(v) = (0..n).find(|&v| offsets[v] > offsets[v + 1]) {
+            return Err(parse(format!("csr offsets decrease at vertex {v}")));
+        }
+        if offsets[n] != edges.len() as u64 {
+            return Err(parse(format!(
+                "csr offsets end at {} but {} edges were supplied",
+                offsets[n],
+                edges.len()
+            )));
+        }
+        if let Some(e) = edges.iter().find(|e| e.to().index() >= n) {
+            return Err(parse(format!("csr edge targets vertex {} of {n}", e.to())));
+        }
+        Ok(Self { offsets, edges })
+    }
+
     /// Transpose into caller-supplied buffers (capacity reuse): count
     /// in-degrees, prefix-sum, then scatter every edge in encounter order —
     /// the same order the historical triple-collecting implementation
@@ -251,6 +285,123 @@ impl Csr {
                 cursor[e.to().index()] += 1;
             }
         }
+        Csr { offsets, edges }
+    }
+
+    /// Transpose into caller-supplied buffers with up to `threads` worker
+    /// threads, byte-identical to [`Csr::fill_transpose`] at any thread
+    /// count (small graphs fall back to the serial loop).
+    pub(crate) fn fill_transpose_with(
+        &self,
+        offsets: Vec<u64>,
+        edges: Vec<Edge>,
+        threads: usize,
+    ) -> Csr {
+        let threads = threads.clamp(1, self.num_vertices().max(1));
+        if threads == 1 || self.num_edges() < PARALLEL_FILL_MIN_EDGES {
+            self.fill_transpose(offsets, edges)
+        } else {
+            self.fill_transpose_parallel(offsets, edges, threads)
+        }
+    }
+
+    /// Parallel transpose: per-worker in-degree counting over contiguous
+    /// chunks of the edge array, a serial merge + prefix sum, then a
+    /// scatter pass in which each worker *owns a contiguous destination
+    /// range* (balanced by in-degree) and therefore a contiguous, disjoint
+    /// slice of the output edge array. Every worker scans all source rows
+    /// in ascending order and keeps only the edges landing in its range,
+    /// so per-destination encounter order — and hence every output byte —
+    /// matches the serial scatter exactly.
+    fn fill_transpose_parallel(
+        &self,
+        mut offsets: Vec<u64>,
+        mut edges: Vec<Edge>,
+        threads: usize,
+    ) -> Csr {
+        let n = self.num_vertices();
+        let m = self.num_edges();
+
+        // Phase 1: count in-degrees, one private count array per worker.
+        let chunk = m.div_ceil(threads);
+        let fwd_edges = &self.edges;
+        let counts = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let lo = (w * chunk).min(m);
+                    let hi = ((w + 1) * chunk).min(m);
+                    s.spawn(move |_| {
+                        let mut local = vec![0u64; n];
+                        for e in &fwd_edges[lo..hi] {
+                            local[e.to().index()] += 1;
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("transpose count workers never panic"))
+                .collect::<Vec<_>>()
+        })
+        .expect("transpose count scope never panics");
+
+        // Merge into the usual exclusive prefix-sum offsets array.
+        offsets.clear();
+        offsets.resize(n + 1, 0);
+        for local in &counts {
+            for (v, c) in local.iter().enumerate() {
+                offsets[v + 1] += c;
+            }
+        }
+        for v in 0..n {
+            offsets[v + 1] += offsets[v];
+        }
+
+        // Phase 2: cut the destination range into contiguous segments of
+        // roughly equal in-edge count; each segment is one worker's
+        // contiguous slice of the output.
+        let per_worker = m.div_ceil(threads);
+        let mut cuts = vec![0usize];
+        for (v, &off) in offsets.iter().enumerate().take(n).skip(1) {
+            if off as usize >= cuts.len() * per_worker {
+                cuts.push(v);
+            }
+        }
+        cuts.push(n);
+
+        edges.clear();
+        edges.resize(m, Edge::new(VertexId::new(0), Weight::ONE));
+        let offsets_ref = &offsets;
+        let fwd_offsets = &self.offsets;
+        crossbeam::thread::scope(|s| {
+            let mut rest: &mut [Edge] = &mut edges;
+            for pair in cuts.windows(2) {
+                let (d_lo, d_hi) = (pair[0], pair[1]);
+                let base = offsets_ref[d_lo] as usize;
+                let seg_len = offsets_ref[d_hi] as usize - base;
+                let (segment, tail) = rest.split_at_mut(seg_len);
+                rest = tail;
+                s.spawn(move |_| {
+                    let mut cursor: Vec<usize> = offsets_ref[d_lo..d_hi]
+                        .iter()
+                        .map(|&o| o as usize - base)
+                        .collect();
+                    for u in 0..n {
+                        let src = VertexId::from_index(u);
+                        let row = &fwd_edges[fwd_offsets[u] as usize..fwd_offsets[u + 1] as usize];
+                        for e in row {
+                            let d = e.to().index();
+                            if (d_lo..d_hi).contains(&d) {
+                                segment[cursor[d - d_lo]] = Edge::new(src, e.weight());
+                                cursor[d - d_lo] += 1;
+                            }
+                        }
+                    }
+                });
+            }
+        })
+        .expect("transpose scatter workers never panic");
         Csr { offsets, edges }
     }
 
@@ -302,8 +453,10 @@ impl Snapshot {
         Self { forward, reverse }
     }
 
-    /// Consumes the snapshot, handing back both CSRs (for buffer reuse).
-    pub(crate) fn into_parts(self) -> (Csr, Csr) {
+    /// Consumes the snapshot, handing back `(forward, reverse)` CSRs — for
+    /// buffer reuse and for serialization paths (checkpointing persists the
+    /// forward CSR only, since the reverse is derived from it).
+    pub fn into_parts(self) -> (Csr, Csr) {
         (self.forward, self.reverse)
     }
 
@@ -484,6 +637,22 @@ mod tests {
             assert_eq!(serial.offsets(), parallel.offsets(), "{threads} threads");
             assert_eq!(serial.edges(), parallel.edges(), "{threads} threads");
         }
+    }
+
+    #[test]
+    fn parallel_transpose_is_byte_identical_to_serial() {
+        let adjacency = skewed_adjacency();
+        let csr = Csr::from_adjacency(&adjacency);
+        assert!(csr.num_edges() >= super::PARALLEL_FILL_MIN_EDGES);
+        let serial = csr.transpose();
+        for threads in [2, 3, 8, 64] {
+            let parallel = csr.fill_transpose_with(Vec::new(), Vec::new(), threads);
+            assert_eq!(serial.offsets(), parallel.offsets(), "{threads} threads");
+            assert_eq!(serial.edges(), parallel.edges(), "{threads} threads");
+        }
+        // Dirty reuse buffers must not leak into the parallel path either.
+        let dirty = csr.fill_transpose_with(vec![7u64; 5], vec![Edge::new(v(2), w(3.0)); 13], 4);
+        assert_eq!(serial, dirty);
     }
 
     #[test]

@@ -329,7 +329,8 @@ impl DynamicGraph {
     pub fn snapshot_parallel(&self, threads: usize) -> Snapshot {
         let start = cisgraph_obs::enabled().then(Instant::now);
         let forward = Csr::from_adjacency_parallel(&self.out, threads);
-        let snap = Snapshot::from_forward(forward);
+        let reverse = forward.fill_transpose_with(Vec::new(), Vec::new(), threads);
+        let snap = Snapshot::from_parts(forward, reverse);
         record_snapshot_build(start);
         snap
     }
@@ -346,13 +347,33 @@ impl DynamicGraph {
             std::mem::take(&mut scratch.forward_edges),
             threads,
         );
-        let reverse = forward.fill_transpose(
+        let reverse = forward.fill_transpose_with(
             std::mem::take(&mut scratch.reverse_offsets),
             std::mem::take(&mut scratch.reverse_edges),
+            threads,
         );
         let snap = Snapshot::from_parts(forward, reverse);
         record_snapshot_build(start);
         snap
+    }
+
+    /// Rebuilds a dynamic graph from a forward CSR (the checkpoint
+    /// recovery path): rows are inserted in ascending vertex order, so
+    /// every **out**-adjacency list reproduces the snapshotted order
+    /// exactly — which is all replay determinism needs, because deletion
+    /// resolution ([`DynamicGraph::remove_edge`]) picks its victim from the
+    /// out-list and future snapshots derive the reverse CSR from the
+    /// forward one. In-lists are multiset-equal but normalized to
+    /// ascending-source order.
+    pub fn from_forward_csr(forward: &Csr, threshold: usize) -> Self {
+        let mut g = Self::with_promotion_threshold(forward.num_vertices(), threshold);
+        for u in 0..forward.num_vertices() {
+            let src = VertexId::from_index(u);
+            for e in forward.neighbors(src) {
+                g.insert_edge_unchecked(src, e.to(), e.weight());
+            }
+        }
+        g
     }
 
     /// Iterates over every edge as `(src, dst, weight)` triples.

@@ -129,14 +129,17 @@ proptest! {
         }
         assert_same_view(&hybrid, &naive)?;
         prop_assert_eq!(hybrid.snapshot(), naive.snapshot());
-        // Serial, parallel, and scratch-reuse snapshot paths agree too.
+        // Serial, parallel, and scratch-reuse snapshot paths agree too, at
+        // every thread count the dispatch can take.
         let serial = hybrid.snapshot();
-        prop_assert_eq!(&serial, &hybrid.snapshot_parallel(4));
+        for threads in [2, 3, 4, 8] {
+            prop_assert_eq!(&serial, &hybrid.snapshot_parallel(threads));
+        }
         let mut scratch = cisgraph_graph::SnapshotScratch::new();
         let first = hybrid.snapshot_with(&mut scratch, 2);
         prop_assert_eq!(&serial, &first);
         scratch.recycle(first);
-        prop_assert_eq!(&serial, &hybrid.snapshot_with(&mut scratch, 2));
+        prop_assert_eq!(&serial, &hybrid.snapshot_with(&mut scratch, 3));
     }
 
     /// A hub whose out-list crosses the promotion threshold mid-batch:

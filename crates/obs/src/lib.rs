@@ -61,8 +61,8 @@ pub use logging::{log_enabled, log_message, Level};
 pub use registry::{counter, gauge, histogram, Counter, Gauge};
 pub use snapshot::{snapshot, MetricsSnapshot};
 pub use span::{
-    clear_trace, enable_tracing, export_chrome_trace, export_jsonl, num_trace_events, span,
-    trace_enabled, Span,
+    clear_trace, close_trace_stream, enable_tracing, export_chrome_trace, export_jsonl,
+    num_trace_events, span, stream_trace_to, trace_enabled, trace_stream_active, Span,
 };
 
 use std::sync::atomic::{AtomicBool, Ordering};

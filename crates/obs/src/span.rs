@@ -10,12 +10,16 @@
 
 use crate::snapshot::escape_json;
 use std::collections::hash_map::DefaultHasher;
+use std::fs::File;
 use std::hash::{Hash, Hasher};
+use std::io::{BufWriter, Write};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 static TRACING: AtomicBool = AtomicBool::new(false);
+static STREAMING: AtomicBool = AtomicBool::new(false);
 
 /// Turns the trace event log on (and the metrics sink with it — a trace
 /// without its histograms would be half a picture).
@@ -44,6 +48,67 @@ struct TraceEvent {
 fn events() -> &'static Mutex<Vec<TraceEvent>> {
     static EVENTS: OnceLock<Mutex<Vec<TraceEvent>>> = OnceLock::new();
     EVENTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn stream_sink() -> &'static Mutex<Option<BufWriter<File>>> {
+    static SINK: OnceLock<Mutex<Option<BufWriter<File>>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(None))
+}
+
+/// Streams trace events to `path` as JSON Lines **as they complete**,
+/// instead of buffering them in the in-memory log. One line per span, the
+/// same schema [`export_jsonl`] emits, appended incrementally through a
+/// buffered writer — so arbitrarily long runs trace in bounded memory and
+/// a crashed run keeps everything flushed so far.
+///
+/// Implies [`enable_tracing`]. While a stream is active the in-memory log
+/// stays empty (and [`export_jsonl`] accordingly returns only what was
+/// buffered before the stream started).
+pub fn stream_trace_to(path: impl AsRef<Path>) -> std::io::Result<()> {
+    let file = File::create(path)?;
+    *stream_sink().lock().expect("trace stream poisoned") = Some(BufWriter::new(file));
+    STREAMING.store(true, Ordering::Relaxed);
+    enable_tracing();
+    Ok(())
+}
+
+/// Whether a streaming JSONL sink is installed.
+#[inline]
+pub fn trace_stream_active() -> bool {
+    STREAMING.load(Ordering::Relaxed)
+}
+
+/// Flushes and closes the streaming sink (tracing itself stays on;
+/// subsequent events buffer in memory again).
+pub fn close_trace_stream() -> std::io::Result<()> {
+    STREAMING.store(false, Ordering::Relaxed);
+    let mut sink = stream_sink().lock().expect("trace stream poisoned");
+    if let Some(mut writer) = sink.take() {
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// Writes one event line to the streaming sink; returns false when no sink
+/// is installed (caller falls back to the in-memory log). Write errors are
+/// swallowed — this runs inside `Drop`.
+fn stream_event(e: &TraceEvent) -> bool {
+    if !trace_stream_active() {
+        return false;
+    }
+    let mut sink = stream_sink().lock().expect("trace stream poisoned");
+    let Some(writer) = sink.as_mut() else {
+        return false;
+    };
+    let _ = writeln!(
+        writer,
+        "{{\"name\":\"{}\",\"start_us\":{},\"dur_us\":{},\"tid\":{}}}",
+        escape_json(&e.name),
+        e.start_us,
+        e.dur_us,
+        e.tid
+    );
+    true
 }
 
 /// The instant all trace timestamps are relative to (first use wins).
@@ -110,13 +175,16 @@ impl Drop for Span {
         let elapsed = inner.start.elapsed();
         crate::histogram(&format!("span.{}", inner.name)).record_duration(elapsed);
         if trace_enabled() {
-            let mut log = events().lock().expect("trace log poisoned");
-            log.push(TraceEvent {
+            let event = TraceEvent {
                 name: inner.name,
                 start_us: inner.start_us,
                 dur_us: u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
                 tid: current_tid(),
-            });
+            };
+            if !stream_event(&event) {
+                let mut log = events().lock().expect("trace log poisoned");
+                log.push(event);
+            }
         }
     }
 }
@@ -175,6 +243,13 @@ pub fn export_chrome_trace() -> String {
 mod tests {
     use super::*;
 
+    /// The stream sink is process-global: tests that install or depend on
+    /// its absence must not interleave.
+    fn trace_test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap()
+    }
+
     #[test]
     fn span_records_into_histogram() {
         crate::enable();
@@ -189,7 +264,40 @@ mod tests {
     }
 
     #[test]
+    fn streaming_sink_appends_incrementally_and_bypasses_the_buffer() {
+        let _guard = trace_test_lock();
+        let path =
+            std::env::temp_dir().join(format!("cisgraph_obs_stream_{}.jsonl", std::process::id()));
+        stream_trace_to(&path).unwrap();
+        let buffered_before = num_trace_events();
+        {
+            let _s = span("span.test.stream.one");
+        }
+        {
+            let _s = span("span.test.stream.two");
+        }
+        // Streamed events must not land in the in-memory log.
+        assert_eq!(num_trace_events(), buffered_before);
+        close_trace_stream().unwrap();
+        assert!(!trace_stream_active());
+        let contents = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = contents.lines().collect();
+        assert!(lines.iter().any(|l| l.contains("span.test.stream.one")));
+        assert!(lines.iter().any(|l| l.contains("span.test.stream.two")));
+        for line in &lines {
+            assert!(line.starts_with("{\"name\":\"") && line.ends_with('}'));
+        }
+        // With the stream closed, events buffer in memory again.
+        {
+            let _s = span("span.test.stream.after");
+        }
+        assert!(export_jsonl().contains("span.test.stream.after"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn trace_log_exports_both_formats() {
+        let _guard = trace_test_lock();
         enable_tracing();
         {
             let _s = span("span.test.trace");

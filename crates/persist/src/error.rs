@@ -1,0 +1,117 @@
+//! Durability errors.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// Error produced by the WAL, checkpointing, or recovery.
+///
+/// Corruption *at the log tail* is not an error — recovery truncates it
+/// (see [`recover`](crate::recover())). [`PersistError::Corrupt`] is reserved
+/// for damage recovery cannot absorb, such as every checkpoint failing its
+/// CRC.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PersistError {
+    /// An underlying filesystem failure.
+    Io(io::Error),
+    /// A persistent structure failed validation beyond repair.
+    Corrupt {
+        /// The damaged file.
+        path: PathBuf,
+        /// Byte offset of the damage, where known.
+        offset: u64,
+        /// What failed to validate.
+        reason: String,
+    },
+}
+
+impl PersistError {
+    pub(crate) fn corrupt(
+        path: impl Into<PathBuf>,
+        offset: u64,
+        reason: impl Into<String>,
+    ) -> Self {
+        Self::Corrupt {
+            path: path.into(),
+            offset,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "io error: {e}"),
+            Self::Corrupt {
+                path,
+                offset,
+                reason,
+            } => write!(
+                f,
+                "corrupt persistent state in {} at byte {offset}: {reason}",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl Error for PersistError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<PersistError> for io::Error {
+    /// Flattens into an [`io::Error`] so callers whose error type already
+    /// carries IO failures (e.g. `GraphError::Io`) can propagate durability
+    /// failures without a new variant.
+    fn from(e: PersistError) -> Self {
+        match e {
+            PersistError::Io(e) => e,
+            corrupt @ PersistError::Corrupt { .. } => {
+                io::Error::new(io::ErrorKind::InvalidData, corrupt.to_string())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = PersistError::from(io::Error::other("disk gone"));
+        assert!(e.to_string().contains("disk gone"));
+        assert!(e.source().is_some());
+        let c = PersistError::corrupt("/tmp/wal-0.seg", 42, "bad crc");
+        assert!(c.to_string().contains("byte 42"));
+        assert!(c.source().is_none());
+    }
+
+    #[test]
+    fn flattens_into_io_error() {
+        let c = PersistError::corrupt("/tmp/x", 7, "bad magic");
+        let io: io::Error = c.into();
+        assert_eq!(io.kind(), io::ErrorKind::InvalidData);
+        assert!(io.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PersistError>();
+    }
+}

@@ -1,0 +1,88 @@
+//! Durability for the CISGraph streaming-graph engines: a write-ahead log
+//! of update batches plus CSR checkpoints, so a crashed or restarted server
+//! resumes from `latest checkpoint + WAL tail` instead of replaying the
+//! whole stream from the initial load.
+//!
+//! Three layers cooperate (see `docs/persistence.md` for the format
+//! diagrams and the fsync-policy tradeoffs):
+//!
+//! * [`Wal`] — an append-only, segment-rotated log of
+//!   [`EdgeUpdate`](cisgraph_types::EdgeUpdate)
+//!   batches. Every batch is one CRC32-framed, length-prefixed binary
+//!   frame carrying a monotonically increasing sequence number; a
+//!   group-commit buffer plus a configurable [`FsyncPolicy`] trade
+//!   durability for append throughput.
+//! * [`checkpoint`] — serializes the forward CSR of a
+//!   [`DynamicGraph`](cisgraph_graph::DynamicGraph) snapshot together with
+//!   the WAL replay position, so recovery only replays the frames logged
+//!   *after* the checkpoint.
+//! * [`recover`](recover()) — scans checkpoints and segments, **tolerates and
+//!   truncates** a torn or bit-flipped tail (detected by the per-frame
+//!   CRC), replays the surviving frames, and hands back a graph whose
+//!   materialized [`Snapshot`](cisgraph_graph::Snapshot) is byte-identical
+//!   to an uninterrupted run — the crash-recovery property the
+//!   fault-injection tests and `tests/proptest_recovery.rs` pin down.
+//!
+//! [`DurableStore`] bundles the three into the one handle the serving
+//! layer and the bench harness use: open (which recovers), log a batch
+//! *before* applying it, checkpoint every N batches.
+//!
+//! When the [`cisgraph_obs`] sink is enabled, every layer records into the
+//! `persist.*` counter/histogram family (bytes written, fsync latency,
+//! replay rate); see `docs/persistence.md`.
+//!
+//! # Examples
+//!
+//! ```
+//! use cisgraph_graph::DynamicGraph;
+//! use cisgraph_persist::{DurableStore, PersistConfig};
+//! use cisgraph_types::{EdgeUpdate, VertexId, Weight};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let dir = std::env::temp_dir().join("cisgraph_persist_doctest");
+//! std::fs::remove_dir_all(&dir).ok();
+//!
+//! // First open: nothing on disk, the bootstrap graph is checkpointed.
+//! let cfg = PersistConfig::new(&dir);
+//! let (mut store, recovered) = DurableStore::open(cfg.clone(), || DynamicGraph::new(3))?;
+//! assert_eq!(recovered.stats.replayed_batches, 0);
+//! let mut graph = recovered.graph;
+//!
+//! let batch = [EdgeUpdate::insert(VertexId::new(0), VertexId::new(1), Weight::ONE)];
+//! store.log_batch(&batch)?; // durable first ...
+//! graph.apply_batch(&batch)?; // ... then applied
+//! drop(store);
+//!
+//! // Second open: the logged batch is replayed onto the checkpoint.
+//! let (_store, recovered) = DurableStore::open(cfg, || DynamicGraph::new(3))?;
+//! assert_eq!(recovered.stats.replayed_batches, 1);
+//! assert_eq!(recovered.graph.snapshot(), graph.snapshot());
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+mod crc;
+mod error;
+mod frame;
+pub mod recover;
+mod store;
+mod wal;
+
+// Callers encoding frames by hand (fault injectors, the bench harness)
+// need the same `BytesMut` the codec takes.
+pub use bytes;
+
+pub use crc::crc32;
+pub use error::PersistError;
+pub use frame::{FrameDecode, WalFrame, FRAME_HEADER_BYTES, UPDATE_BYTES, WAL_FRAME_MAGIC};
+pub use recover::{recover, Recovered, RecoveryStats};
+pub use store::{snapshot_digest, DurableStore, PersistConfig};
+pub use wal::{FsyncPolicy, Wal, WalConfig, DEFAULT_SEGMENT_BYTES};
+
+/// Convenience alias for this crate's results.
+pub type Result<T> = std::result::Result<T, PersistError>;

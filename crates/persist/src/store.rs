@@ -1,0 +1,293 @@
+//! [`DurableStore`]: the one handle the serving layer and the bench
+//! harness hold — open (which recovers), log each batch *before* applying
+//! it, checkpoint every N batches, prune what the newest checkpoints make
+//! redundant.
+
+use std::fs;
+use std::path::PathBuf;
+
+use bytes::BufMut;
+use cisgraph_graph::{DynamicGraph, Snapshot};
+use cisgraph_types::EdgeUpdate;
+
+use crate::crc::crc32;
+use crate::recover::{recover, Recovered};
+use crate::wal::{FsyncPolicy, Wal, WalConfig, DEFAULT_SEGMENT_BYTES};
+use crate::{checkpoint, Result};
+
+/// Configuration for a [`DurableStore`].
+#[derive(Debug, Clone)]
+pub struct PersistConfig {
+    /// Directory holding segments and checkpoints.
+    pub dir: PathBuf,
+    /// WAL durability policy.
+    pub fsync: FsyncPolicy,
+    /// WAL segment rotation threshold.
+    pub segment_bytes: u64,
+    /// Write a checkpoint automatically every this many logged batches
+    /// (`None` = only on explicit [`DurableStore::checkpoint`] calls).
+    pub checkpoint_every: Option<u64>,
+    /// How many recent checkpoints to retain when pruning.
+    pub keep_checkpoints: usize,
+}
+
+impl PersistConfig {
+    /// Defaults: fsync every batch, 8 MiB segments, no automatic
+    /// checkpoints, keep the 2 newest checkpoints.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            fsync: FsyncPolicy::EveryBatch,
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
+            checkpoint_every: None,
+            keep_checkpoints: 2,
+        }
+    }
+}
+
+/// A recovered, append-ready durability handle.
+///
+/// The protocol (see the crate docs for a complete example):
+///
+/// 1. [`DurableStore::open`] recovers and hands back the graph,
+/// 2. for each incoming batch: [`DurableStore::log_batch`] **then**
+///    `graph.apply_batch`, so no applied update is ever un-logged,
+/// 3. after applying: [`DurableStore::maybe_checkpoint`] with the applied
+///    graph, which checkpoints and prunes on the configured cadence.
+#[derive(Debug)]
+pub struct DurableStore {
+    config: PersistConfig,
+    wal: Wal,
+    batches_since_checkpoint: u64,
+}
+
+impl DurableStore {
+    /// Recovers `config.dir` (see [`recover`]) and opens the WAL for
+    /// appending at the recovered position. `bootstrap` supplies the
+    /// initial graph for a fresh directory; it is checkpointed immediately
+    /// so recovery is always checkpoint-anchored from then on.
+    pub fn open(
+        config: PersistConfig,
+        bootstrap: impl FnOnce() -> DynamicGraph,
+    ) -> Result<(Self, Recovered)> {
+        fs::create_dir_all(&config.dir)?;
+        let recovered = recover(&config.dir, bootstrap)?;
+        if checkpoint::list(&config.dir)?.is_empty() {
+            checkpoint::write(&config.dir, recovered.next_seq, &recovered.graph)?;
+        }
+        let wal = Wal::open(
+            WalConfig {
+                dir: config.dir.clone(),
+                fsync: config.fsync,
+                segment_bytes: config.segment_bytes,
+            },
+            recovered.next_seq,
+        )?;
+        Ok((
+            Self {
+                config,
+                wal,
+                batches_since_checkpoint: 0,
+            },
+            recovered,
+        ))
+    }
+
+    /// Logs one batch ahead of application; returns its sequence number.
+    /// Durability on return follows the configured [`FsyncPolicy`].
+    pub fn log_batch(&mut self, batch: &[EdgeUpdate]) -> Result<u64> {
+        let seq = self.wal.append(batch)?;
+        self.batches_since_checkpoint += 1;
+        Ok(seq)
+    }
+
+    /// The sequence number the next logged batch will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.wal.next_seq()
+    }
+
+    /// Forces everything logged so far to stable storage.
+    pub fn sync(&mut self) -> Result<()> {
+        self.wal.sync()
+    }
+
+    /// Checkpoints `graph` if the configured cadence says it is time.
+    /// `graph` must have every logged batch applied. Returns whether a
+    /// checkpoint was written.
+    pub fn maybe_checkpoint(&mut self, graph: &DynamicGraph) -> Result<bool> {
+        match self.config.checkpoint_every {
+            Some(every) if self.batches_since_checkpoint >= every => {
+                self.checkpoint(graph)?;
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Unconditionally checkpoints `graph` as covering everything logged
+    /// so far, then prunes checkpoints and fully-covered WAL segments.
+    /// `graph` must have every logged batch applied.
+    pub fn checkpoint(&mut self, graph: &DynamicGraph) -> Result<()> {
+        // The checkpoint claims to cover every logged batch — make sure
+        // they really are on disk before the claim is.
+        self.wal.sync()?;
+        checkpoint::write(&self.config.dir, self.wal.next_seq(), graph)?;
+        self.batches_since_checkpoint = 0;
+        self.prune()
+    }
+
+    /// Deletes all but the newest `keep_checkpoints` checkpoints and every
+    /// WAL segment whose entire range is covered by the oldest retained
+    /// checkpoint.
+    fn prune(&self) -> Result<()> {
+        let checkpoints = checkpoint::list(&self.config.dir)?;
+        let keep = self.config.keep_checkpoints.max(1);
+        if checkpoints.len() <= keep {
+            return Ok(());
+        }
+        let cut = checkpoints.len() - keep;
+        for (_, path) in &checkpoints[..cut] {
+            fs::remove_file(path)?;
+        }
+        let oldest_kept = checkpoints[cut].0;
+        // A segment's range ends where the next segment begins; the last
+        // (current) segment is never pruned.
+        let segments = crate::wal::list_segments(&self.config.dir)?;
+        for pair in segments.windows(2) {
+            let (_, ref path) = pair[0];
+            let (next_first, _) = pair[1];
+            if next_first <= oldest_kept {
+                fs::remove_file(path)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A CRC32 digest of a materialized snapshot's complete byte content
+/// (forward and reverse CSR, offsets and edges). Two snapshots digest
+/// equal iff they are byte-identical — the equality the crash-recovery CI
+/// smoke asserts across process boundaries.
+pub fn snapshot_digest(snapshot: &Snapshot) -> u32 {
+    let mut buf = bytes::BytesMut::new();
+    for csr in [snapshot.forward(), snapshot.reverse()] {
+        buf.put_u64_le(csr.num_vertices() as u64);
+        for &offset in csr.offsets() {
+            buf.put_u64_le(offset);
+        }
+        for e in csr.edges() {
+            buf.put_u32_le(e.to().raw());
+            buf.put_f64_le(e.weight().get());
+        }
+    }
+    crc32(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cisgraph_types::{VertexId, Weight};
+    use std::path::Path;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cisgraph_store_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn upd(i: u32) -> EdgeUpdate {
+        EdgeUpdate::insert(
+            VertexId::new(i % 16),
+            VertexId::new((i * 7 + 1) % 16),
+            Weight::new(f64::from(i % 3 + 1)).unwrap(),
+        )
+    }
+
+    fn bootstrap() -> DynamicGraph {
+        DynamicGraph::with_promotion_threshold(16, 4)
+    }
+
+    fn count_files(dir: &Path, suffix: &str) -> usize {
+        fs::read_dir(dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_str()
+                    .is_some_and(|n| n.ends_with(suffix))
+            })
+            .count()
+    }
+
+    #[test]
+    fn open_log_reopen_replays() {
+        let dir = tmpdir("basic");
+        let cfg = PersistConfig::new(&dir);
+        let (mut store, recovered) = DurableStore::open(cfg.clone(), bootstrap).unwrap();
+        let mut graph = recovered.graph;
+        for b in 0..6u32 {
+            let batch: Vec<_> = (0..4).map(|i| upd(b * 4 + i)).collect();
+            store.log_batch(&batch).unwrap();
+            graph.apply_batch(&batch).unwrap();
+        }
+        drop(store);
+        let (_store2, recovered2) = DurableStore::open(cfg, bootstrap).unwrap();
+        assert_eq!(recovered2.stats.replayed_batches, 6);
+        assert_eq!(recovered2.graph.snapshot(), graph.snapshot());
+        assert_eq!(
+            snapshot_digest(&recovered2.graph.snapshot()),
+            snapshot_digest(&graph.snapshot())
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_cadence_and_pruning() {
+        let dir = tmpdir("cadence");
+        let mut cfg = PersistConfig::new(&dir);
+        cfg.checkpoint_every = Some(2);
+        cfg.segment_bytes = 256; // rotate often so pruning has prey
+        cfg.fsync = FsyncPolicy::Never;
+        let (mut store, recovered) = DurableStore::open(cfg.clone(), bootstrap).unwrap();
+        let mut graph = recovered.graph;
+        let mut wrote = 0;
+        for b in 0..10u32 {
+            let batch: Vec<_> = (0..4).map(|i| upd(b * 4 + i)).collect();
+            store.log_batch(&batch).unwrap();
+            graph.apply_batch(&batch).unwrap();
+            if store.maybe_checkpoint(&graph).unwrap() {
+                wrote += 1;
+            }
+        }
+        assert_eq!(wrote, 5);
+        // Pruning keeps at most keep_checkpoints files.
+        assert!(count_files(&dir, ".ckpt") <= cfg.keep_checkpoints);
+        drop(store);
+        let (_s, recovered2) = DurableStore::open(cfg, bootstrap).unwrap();
+        // The last checkpoint covered everything: nothing to replay.
+        assert_eq!(recovered2.stats.replayed_batches, 0);
+        assert_eq!(recovered2.graph.snapshot(), graph.snapshot());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn digest_distinguishes_different_graphs() {
+        let mut a = bootstrap();
+        let mut b = bootstrap();
+        a.apply_batch(&[upd(1)]).unwrap();
+        b.apply_batch(&[upd(2)]).unwrap();
+        assert_eq!(
+            snapshot_digest(&a.snapshot()),
+            snapshot_digest(&a.snapshot())
+        );
+        assert_ne!(
+            snapshot_digest(&a.snapshot()),
+            snapshot_digest(&b.snapshot())
+        );
+        assert_ne!(
+            snapshot_digest(&bootstrap().snapshot()),
+            snapshot_digest(&a.snapshot())
+        );
+    }
+}

@@ -1,0 +1,230 @@
+//! Deterministic fault injection against real on-disk log files: byte-level
+//! truncation sweeps and bit-flip sweeps over a WAL produced by an actual
+//! logging run. Complements `proptest_recovery.rs` (randomized histories)
+//! with exhaustive coverage of every damage position in one fixed history.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use cisgraph_graph::{DynamicGraph, Snapshot};
+use cisgraph_persist::{recover, snapshot_digest, DurableStore, FsyncPolicy, PersistConfig};
+use cisgraph_types::{EdgeUpdate, VertexId, Weight};
+
+const N: u32 = 10;
+const BATCHES: u32 = 8;
+const PER_BATCH: u32 = 4;
+
+fn bootstrap() -> DynamicGraph {
+    DynamicGraph::with_promotion_threshold(N as usize, 3)
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cisgraph_fault_{tag}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn update(i: u32) -> EdgeUpdate {
+    let s = VertexId::new(i % N);
+    let d = VertexId::new((i * 3 + 1) % N);
+    let w = Weight::new(f64::from(i % 4 + 1)).unwrap();
+    if i % 5 == 4 {
+        EdgeUpdate::delete(s, d, w)
+    } else {
+        EdgeUpdate::insert(s, d, w)
+    }
+}
+
+/// Logs a fixed history and returns the per-prefix reference snapshots.
+fn run_history(dir: &Path, checkpoint_every: Option<u64>) -> Vec<Snapshot> {
+    let mut cfg = PersistConfig::new(dir);
+    cfg.fsync = FsyncPolicy::Never;
+    cfg.checkpoint_every = checkpoint_every;
+    let (mut store, recovered) = DurableStore::open(cfg, bootstrap).unwrap();
+    let mut graph = recovered.graph;
+    let mut states = vec![graph.snapshot()];
+    for b in 0..BATCHES {
+        let batch: Vec<EdgeUpdate> = (0..PER_BATCH).map(|i| update(b * PER_BATCH + i)).collect();
+        store.log_batch(&batch).unwrap();
+        let _ = graph.apply_batch(&batch);
+        store.maybe_checkpoint(&graph).unwrap();
+        states.push(graph.snapshot());
+    }
+    states
+}
+
+fn only_segment(dir: &Path) -> PathBuf {
+    let mut segs: Vec<_> = fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("wal-") && n.ends_with(".seg"))
+        })
+        .collect();
+    assert_eq!(segs.len(), 1, "history was sized to fit one segment");
+    segs.pop().unwrap()
+}
+
+/// Recovery at this directory state must land on *some* reference prefix,
+/// byte-identically. Returns the prefix length.
+fn assert_prefix(dir: &Path, states: &[Snapshot]) -> u64 {
+    let r = recover(dir, bootstrap).unwrap();
+    let next = r.next_seq as usize;
+    assert!(next < states.len(), "next_seq {next} exceeds history");
+    let got = r.graph.snapshot();
+    assert_eq!(got, states[next], "diverged at prefix {next}");
+    assert_eq!(snapshot_digest(&got), snapshot_digest(&states[next]));
+    r.next_seq
+}
+
+#[test]
+fn truncation_sweep_every_byte_offset() {
+    let dir = tmpdir("trunc_sweep");
+    let states = run_history(&dir, None);
+    let seg = only_segment(&dir);
+    let pristine = fs::read(&seg).unwrap();
+
+    let mut prefixes = Vec::new();
+    for cut in 0..=pristine.len() {
+        fs::write(&seg, &pristine[..cut]).unwrap();
+        let next = assert_prefix(&dir, &states);
+        prefixes.push(next);
+        // Recovery truncated the file to the last good boundary; restore
+        // the pristine bytes for the next iteration.
+        fs::write(&seg, &pristine).unwrap();
+    }
+    // Coverage is monotone in the cut position, from nothing to everything.
+    assert_eq!(prefixes[0], 0);
+    assert_eq!(*prefixes.last().unwrap(), u64::from(BATCHES));
+    assert!(prefixes.windows(2).all(|w| w[0] <= w[1]));
+    // Every prefix length is reachable: each frame boundary is a clean
+    // recovery point.
+    for b in 0..=u64::from(BATCHES) {
+        assert!(prefixes.contains(&b), "no cut recovers exactly {b} batches");
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bit_flip_sweep_every_byte() {
+    let dir = tmpdir("flip_sweep");
+    let states = run_history(&dir, None);
+    let seg = only_segment(&dir);
+    let pristine = fs::read(&seg).unwrap();
+
+    for pos in 0..pristine.len() {
+        let mut bytes = pristine.clone();
+        bytes[pos] ^= 0x04;
+        fs::write(&seg, &bytes).unwrap();
+        let next = assert_prefix(&dir, &states);
+        // Damage at byte `pos` can only surrender frames at or after it:
+        // recovery keeps every frame wholly before the flip.
+        assert!(
+            next <= u64::from(BATCHES),
+            "flip at {pos} over-recovered {next}"
+        );
+        fs::write(&seg, &pristine).unwrap();
+    }
+    // Pristine file still recovers in full after the sweep.
+    assert_eq!(assert_prefix(&dir, &states), u64::from(BATCHES));
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn flips_never_lose_frames_before_the_damage() {
+    let dir = tmpdir("flip_prefix");
+    let states = run_history(&dir, None);
+    let seg = only_segment(&dir);
+    let pristine = fs::read(&seg).unwrap();
+
+    // Frame sizes are deterministic, so the byte offset of each frame
+    // boundary tells us the minimum prefix a flip at `pos` must preserve.
+    let frame_bytes = cisgraph_persist::FRAME_HEADER_BYTES
+        + 4
+        + PER_BATCH as usize * cisgraph_persist::UPDATE_BYTES;
+    for pos in (0..pristine.len()).step_by(7) {
+        let mut bytes = pristine.clone();
+        bytes[pos] ^= 0x80;
+        fs::write(&seg, &bytes).unwrap();
+        let next = assert_prefix(&dir, &states);
+        let frames_before_damage = pos / frame_bytes;
+        assert!(
+            next as usize >= frames_before_damage,
+            "flip at {pos} lost intact frame(s): recovered {next}, expected >= {frames_before_damage}"
+        );
+        fs::write(&seg, &pristine).unwrap();
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn checkpointed_history_survives_wal_obliteration() {
+    let dir = tmpdir("ckpt_wal_gone");
+    let states = run_history(&dir, Some(2));
+    // Destroy every WAL byte; the newest checkpoint alone must carry a
+    // consistent (checkpoint-covered) prefix.
+    for seg in fs::read_dir(&dir).unwrap().map(|e| e.unwrap().path()) {
+        if seg
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.ends_with(".seg"))
+        {
+            fs::write(&seg, b"").unwrap();
+        }
+    }
+    let next = assert_prefix(&dir, &states);
+    // checkpoint_every=2 over 8 batches: the last checkpoint covers all 8.
+    assert_eq!(next, u64::from(BATCHES));
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupt_checkpoint_falls_back_then_replays_wal() {
+    let dir = tmpdir("ckpt_fallback_replay");
+    let mut cfg = PersistConfig::new(&dir);
+    cfg.fsync = FsyncPolicy::Never;
+    cfg.checkpoint_every = Some(3);
+    cfg.keep_checkpoints = 4; // retain enough WAL+checkpoints to fall back
+    let (mut store, recovered) = DurableStore::open(cfg, bootstrap).unwrap();
+    let mut graph = recovered.graph;
+    let mut states = vec![graph.snapshot()];
+    for b in 0..BATCHES {
+        let batch: Vec<EdgeUpdate> = (0..PER_BATCH).map(|i| update(b * PER_BATCH + i)).collect();
+        store.log_batch(&batch).unwrap();
+        let _ = graph.apply_batch(&batch);
+        store.maybe_checkpoint(&graph).unwrap();
+        states.push(graph.snapshot());
+    }
+    drop(store);
+
+    // Bit-flip the newest checkpoint; recovery must fall back to an older
+    // one and replay the WAL tail to the same final state.
+    let mut ckpts: Vec<_> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with(".ckpt"))
+        })
+        .collect();
+    ckpts.sort();
+    assert!(ckpts.len() >= 2, "need a fallback checkpoint");
+    let newest = ckpts.last().unwrap();
+    let mut bytes = fs::read(newest).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    fs::write(newest, &bytes).unwrap();
+
+    let r = recover(&dir, bootstrap).unwrap();
+    assert_eq!(r.stats.corrupt_checkpoints, 1);
+    assert!(
+        r.stats.replayed_batches > 0,
+        "fallback must replay the tail"
+    );
+    assert_eq!(r.next_seq, u64::from(BATCHES));
+    assert_eq!(r.graph.snapshot(), *states.last().unwrap());
+    fs::remove_dir_all(&dir).unwrap();
+}
