@@ -26,12 +26,17 @@
 //! server recovers from whatever checkpoint + WAL tail the directory
 //! holds, logs every batch to the WAL *before* applying it, and
 //! checkpoints on exit. `--fsync batch|<n>|off` picks the group-commit
-//! policy (default `batch`) and `--checkpoint-every <n>` checkpoints
-//! every `n` batches mid-run. See `docs/persistence.md`.
+//! policy (default `batch`), `--checkpoint-every <n>` checkpoints every
+//! `n` batches mid-run, `--checkpoint-mode full|delta` picks full or
+//! incremental checkpoints (default `full`; `--full-every <n>` bounds a
+//! delta chain), and checkpoints are written on a background worker
+//! unless `--checkpoint-sync` forces them inline. See
+//! `docs/persistence.md`.
 //!
 //! ```text
 //! cargo run --release -p cisgraph-bench --bin serve -- \
-//!     --wal-dir /tmp/wal --fsync 32 --checkpoint-every 64 --queries 64
+//!     --wal-dir /tmp/wal --fsync 32 --checkpoint-every 64 \
+//!     --checkpoint-mode delta --queries 64
 //! ```
 
 use cisgraph_algo::Ppsp;
@@ -122,6 +127,17 @@ fn serve_durable(args: &Args, wal_dir: &str, threads: usize) {
     let mut cfg = PersistConfig::new(wal_dir);
     cfg.fsync = fsync;
     cfg.checkpoint_every = args.get_u64("checkpoint-every");
+    cfg.mode = args
+        .get_str("checkpoint-mode")
+        .map(|s| s.parse().expect("--checkpoint-mode takes full|delta"))
+        .unwrap_or_default();
+    if let Some(n) = args.get_u64("full-every") {
+        cfg.full_every = n;
+    }
+    // Checkpoints go to the background worker by default so the ingest
+    // thread never stalls on serialization + fsync; `--checkpoint-sync`
+    // restores the inline (blocking) behavior.
+    cfg.background = !args.flag("checkpoint-sync");
 
     let num_queries = args.get_usize("queries").unwrap_or(64);
     let run = RunConfig::builder(registry::orkut_like())

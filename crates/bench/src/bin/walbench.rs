@@ -2,13 +2,16 @@
 //!
 //! Bench mode (the default) measures, against one deterministic workload:
 //! raw WAL append throughput under every fsync policy, the end-to-end
-//! ingest overhead of write-ahead logging versus plain `apply_batch`, and
-//! recovery replay speed. The JSON written by `--out` is the checked-in
-//! `BENCH_wal.json` baseline.
+//! ingest overhead of write-ahead logging versus plain `apply_batch`,
+//! recovery replay speed, checkpoint write amplification (bytes written by
+//! a full-checkpoint cadence versus a delta-chain cadence over the same
+//! history), and the per-batch ingest stall that background delta
+//! checkpointing adds over plain ingest. The JSON written by `--out` is
+//! the checked-in `BENCH_wal.json` baseline.
 //!
 //! ```text
 //! cargo run --release -p cisgraph-bench --bin walbench -- \
-//!     --batches 64 --assert-overhead 1.15 --out BENCH_wal.json
+//!     --batches 64 --assert-overhead 1.15 --assert-stall 10 --out BENCH_wal.json
 //! ```
 //!
 //! The crash modes drive CI's cross-process recovery smoke: three
@@ -24,8 +27,11 @@
 //! Knobs: `--mode bench|crash|recover|baseline`, `--dir <path>` (crash /
 //! recover state directory), `--repeats <n>` best-of timing repeats,
 //! `--assert-overhead <x>` exits non-zero if fsync-off durable ingest
-//! exceeds `x`× the no-WAL ingest time, `--out <path>`, and the usual
-//! workload knobs (`--scale`, `--adds`, `--dels`, `--batches`, `--seed`).
+//! exceeds `x`× the no-WAL ingest time, `--assert-stall <x>` exits
+//! non-zero if the p99 per-batch latency of ingest with background delta
+//! checkpointing exceeds `x`× the plain-ingest p99, `--out <path>`, and
+//! the usual workload knobs (`--scale`, `--adds`, `--dels`, `--batches`,
+//! `--seed`).
 
 use cisgraph_bench::args::Args;
 use cisgraph_bench::obsout::ObsSession;
@@ -34,7 +40,8 @@ use cisgraph_datasets::registry;
 use cisgraph_graph::DynamicGraph;
 use cisgraph_obs as obs;
 use cisgraph_persist::{
-    recover, snapshot_digest, DurableStore, FsyncPolicy, PersistConfig, Wal, WalConfig, WalFrame,
+    recover, snapshot_digest, CheckpointMode, DurableStore, FsyncPolicy, PersistConfig, Wal,
+    WalConfig, WalFrame,
 };
 use serde::Serialize;
 use std::io::Write;
@@ -49,6 +56,24 @@ struct AppendRow {
     updates_per_sec: f64,
 }
 
+/// Checkpoint bytes written over the whole history under one mode.
+#[derive(Debug, Serialize)]
+struct AmplificationRow {
+    mode: String,
+    checkpoints: usize,
+    delta_checkpoints: usize,
+    bytes: u64,
+}
+
+/// Per-batch ingest-latency tail with background delta checkpointing
+/// versus plain (no-persistence) ingest.
+#[derive(Debug, Serialize)]
+struct StallRow {
+    p50_us: f64,
+    p99_us: f64,
+    max_us: f64,
+}
+
 /// The `BENCH_wal.json` baseline document.
 #[derive(Debug, Serialize)]
 struct Report {
@@ -61,6 +86,11 @@ struct Report {
     overhead: f64,
     recovery_replay_ns: u64,
     recovery_updates_per_sec: f64,
+    amplification: Vec<AmplificationRow>,
+    checkpoint_bytes_ratio: f64,
+    stall_plain: StallRow,
+    stall_durable: StallRow,
+    stall_ratio: f64,
 }
 
 /// The deterministic workload every mode shares (so digests agree across
@@ -124,6 +154,110 @@ fn append_throughput(bundle: &WorkloadBundle, fsync: FsyncPolicy, repeats: usize
         bytes as f64 / secs.max(1e-12),
         updates as f64 / secs.max(1e-12),
     )
+}
+
+/// Runs the whole history through a checkpointing store in `mode` and
+/// sums the bytes of every checkpoint file left behind (pruning disabled),
+/// excluding the bootstrap checkpoint both modes share.
+fn checkpoint_amplification(bundle: &WorkloadBundle, mode: CheckpointMode) -> AmplificationRow {
+    let dir = fresh_dir(&format!("amp_{mode:?}"));
+    let mut cfg = PersistConfig::new(&dir);
+    cfg.fsync = FsyncPolicy::Never;
+    cfg.checkpoint_every = Some(4);
+    cfg.keep_checkpoints = usize::MAX; // measure every write; never prune
+    cfg.mode = mode;
+    cfg.full_every = 8;
+    let initial = bundle.initial.clone();
+    let (mut store, recovered) = DurableStore::open(cfg, move || initial).expect("open store");
+    let bootstrap_bytes: u64 = checkpoint_sizes(&dir).iter().map(|(_, b)| b).sum();
+    let mut graph = recovered.graph;
+    for batch in &bundle.batches {
+        store.log_batch(batch).expect("log");
+        let _ = graph.apply_batch(batch);
+        store.maybe_checkpoint(&mut graph).expect("checkpoint");
+    }
+    drop(store);
+    let sizes = checkpoint_sizes(&dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    AmplificationRow {
+        mode: format!("{mode:?}").to_lowercase(),
+        checkpoints: sizes.len() - 1, // minus the bootstrap
+        delta_checkpoints: sizes.iter().filter(|(is_delta, _)| *is_delta).count(),
+        bytes: sizes.iter().map(|(_, b)| b).sum::<u64>() - bootstrap_bytes,
+    }
+}
+
+/// `(is_delta, bytes)` for every checkpoint file in `dir`.
+fn checkpoint_sizes(dir: &Path) -> Vec<(bool, u64)> {
+    std::fs::read_dir(dir)
+        .expect("read checkpoint dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter_map(|p| {
+            let name = p.file_name()?.to_str()?;
+            if !name.starts_with("ckpt-") || name.ends_with(".tmp") {
+                return None;
+            }
+            Some((name.ends_with(".dckpt"), std::fs::metadata(&p).ok()?.len()))
+        })
+        .collect()
+}
+
+/// Nearest-rank percentile over nanosecond samples, in microseconds.
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p * sorted_ns.len() as f64).ceil() as usize).clamp(1, sorted_ns.len());
+    sorted_ns[rank - 1] as f64 / 1e3
+}
+
+fn stall_row(mut samples_ns: Vec<u64>) -> StallRow {
+    samples_ns.sort_unstable();
+    StallRow {
+        p50_us: percentile_us(&samples_ns, 0.50),
+        p99_us: percentile_us(&samples_ns, 0.99),
+        max_us: percentile_us(&samples_ns, 1.0),
+    }
+}
+
+/// Per-batch latency samples: plain ingest versus durable ingest with
+/// background delta checkpoints (fsync off, so the stall isolated here is
+/// the checkpoint work itself, not the WAL's group commit). The checkpoint
+/// cadence fires four times across the stream; with an inline writer those
+/// batches would each absorb a full serialize + fsync, with the background
+/// worker they only pay the snapshot handoff.
+fn ingest_stall(bundle: &WorkloadBundle, repeats: usize) -> (StallRow, StallRow) {
+    let mut plain_ns = Vec::new();
+    let mut durable_ns = Vec::new();
+    for r in 0..repeats.max(1) {
+        let mut plain_graph = bundle.initial.clone();
+        for batch in &bundle.batches {
+            let start = Instant::now();
+            let _ = plain_graph.apply_batch(batch);
+            plain_ns.push(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+
+        let dir = fresh_dir(&format!("stall_{r}"));
+        let mut cfg = PersistConfig::new(&dir);
+        cfg.fsync = FsyncPolicy::Never;
+        cfg.checkpoint_every = Some(4);
+        cfg.mode = CheckpointMode::Delta;
+        cfg.full_every = 8;
+        cfg.background = true;
+        let initial = bundle.initial.clone();
+        let (mut store, recovered) = DurableStore::open(cfg, move || initial).expect("open store");
+        let mut graph = recovered.graph;
+        for batch in &bundle.batches {
+            let start = Instant::now();
+            store.log_batch(batch).expect("log");
+            let _ = graph.apply_batch(batch);
+            store.maybe_checkpoint(&mut graph).expect("checkpoint");
+            durable_ns.push(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+        drop(store); // drains the in-flight background write
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    (stall_row(plain_ns), stall_row(durable_ns))
 }
 
 fn bench(args: &Args, bundle: &WorkloadBundle) {
@@ -229,6 +363,29 @@ fn bench(args: &Args, bundle: &WorkloadBundle) {
         recover_ns as f64 / 1e6,
     );
 
+    // --- Checkpoint write amplification: full cadence vs delta chain ----
+    let amp_full = checkpoint_amplification(bundle, CheckpointMode::Full);
+    let amp_delta = checkpoint_amplification(bundle, CheckpointMode::Delta);
+    let bytes_ratio = amp_delta.bytes as f64 / (amp_full.bytes as f64).max(1.0);
+    println!(
+        "checkpoint bytes: full {:.2} MB ({} ckpts), delta {:.2} MB ({} ckpts, {} deltas) \
+         — {bytes_ratio:.3}x",
+        amp_full.bytes as f64 / 1e6,
+        amp_full.checkpoints,
+        amp_delta.bytes as f64 / 1e6,
+        amp_delta.checkpoints,
+        amp_delta.delta_checkpoints,
+    );
+
+    // --- Ingest stall: background delta checkpointing vs plain ----------
+    let (stall_plain, stall_durable) = ingest_stall(bundle, repeats);
+    let stall_ratio = stall_durable.p99_us / stall_plain.p99_us.max(1e-9);
+    println!(
+        "ingest stall p99: plain {:.1} us, durable(bg delta) {:.1} us ({stall_ratio:.3}x); \
+         max {:.1} us vs {:.1} us",
+        stall_plain.p99_us, stall_durable.p99_us, stall_plain.max_us, stall_durable.max_us,
+    );
+
     let report = Report {
         batches: bundle.batches.len(),
         updates,
@@ -239,6 +396,11 @@ fn bench(args: &Args, bundle: &WorkloadBundle) {
         overhead,
         recovery_replay_ns: recover_ns,
         recovery_updates_per_sec: recover_ups,
+        amplification: vec![amp_full, amp_delta],
+        checkpoint_bytes_ratio: bytes_ratio,
+        stall_plain,
+        stall_durable,
+        stall_ratio,
     };
     artifacts::write_json("walbench", &report);
     if let Some(path) = args.get_str("out") {
@@ -257,6 +419,25 @@ fn bench(args: &Args, bundle: &WorkloadBundle) {
         );
         println!("overhead gate ok: {overhead:.3}x <= {limit:.2}x");
     }
+    if let Some(limit) = args.get_f64("assert-stall") {
+        assert!(
+            report.stall_ratio <= limit,
+            "p99 ingest stall {:.3}x under background delta checkpointing exceeds \
+             the allowed {limit:.2}x",
+            report.stall_ratio
+        );
+        // Delta chains must also beat full checkpoints on bytes for this
+        // mostly-stable workload — the write-amplification claim.
+        assert!(
+            report.checkpoint_bytes_ratio < 1.0,
+            "delta checkpoints wrote {:.3}x the bytes of full checkpoints",
+            report.checkpoint_bytes_ratio
+        );
+        println!(
+            "stall gate ok: {:.3}x <= {limit:.2}x (delta bytes ratio {:.3})",
+            report.stall_ratio, report.checkpoint_bytes_ratio
+        );
+    }
 }
 
 /// Ingests the whole workload durably, then simulates a crash: drop the
@@ -273,7 +454,7 @@ fn crash(args: &Args, bundle: &WorkloadBundle, dir: &Path) {
     for batch in &bundle.batches {
         store.log_batch(batch).expect("log");
         let _ = graph.apply_batch(batch);
-        store.maybe_checkpoint(&graph).expect("checkpoint");
+        store.maybe_checkpoint(&mut graph).expect("checkpoint");
     }
     store.sync().expect("sync");
     drop(store);

@@ -26,16 +26,19 @@
 //! inside the fan-out (see `docs/observability.md`).
 //!
 //! With a [`DurableStore`] attached ([`QueryServer::attach_durability`]),
-//! every batch is appended to the write-ahead log *before* it is applied
-//! and the graph is checkpointed on the store's cadence, so a crashed
-//! server recovers to a consistent prefix of the acknowledged stream (see
+//! every batch is validated, appended to the write-ahead log, and only
+//! then applied — a batch the graph would reject never reaches the WAL
+//! (a poisoned frame would otherwise be replayed on every recovery) —
+//! and the graph is checkpointed on the store's cadence (full or delta,
+//! inline or on a background worker), so a crashed server recovers to a
+//! consistent prefix of the acknowledged stream (see
 //! `docs/persistence.md`).
 
 use crate::{BatchReport, MultiQuery, ReportCore};
 use cisgraph_algo::classify::ClassificationSummary;
 use cisgraph_algo::MonotonicAlgorithm;
 use cisgraph_graph::{DynamicGraph, GraphError, SharedGraph};
-use cisgraph_persist::DurableStore;
+use cisgraph_persist::{CheckpointMode, DurableStore};
 use cisgraph_types::{EdgeUpdate, PairQuery, State, VertexId};
 use serde::Serialize;
 use std::collections::BTreeMap;
@@ -231,12 +234,21 @@ impl<A: MonotonicAlgorithm> QueryServer<A> {
     }
 
     /// Attaches a durability handle: from now on every
-    /// [`process_batch`](QueryServer::process_batch) call logs the batch to
-    /// the WAL before applying it, and checkpoints on the store's
-    /// configured cadence. The store should have been opened against this
-    /// server's graph (i.e. the graph passed to [`QueryServer::new`] came
-    /// out of the same [`DurableStore::open`] recovery).
+    /// [`process_batch`](QueryServer::process_batch) call validates the
+    /// batch, logs it to the WAL, applies it, and checkpoints on the
+    /// store's configured cadence. The store should have been opened
+    /// against this server's graph (i.e. the graph passed to
+    /// [`QueryServer::new`] came out of the same [`DurableStore::open`]
+    /// recovery).
+    ///
+    /// A delta-mode store needs the graph to track which CSR rows changed
+    /// since the last checkpoint, so this enables dirty-row tracking
+    /// (idempotent; recovery under a delta-mode store already turned it
+    /// on).
     pub fn attach_durability(&mut self, store: DurableStore) {
+        if store.mode() == CheckpointMode::Delta {
+            self.graph.graph_mut().enable_dirty_rows();
+        }
         self.persist = Some(store);
     }
 
@@ -254,7 +266,7 @@ impl<A: MonotonicAlgorithm> QueryServer<A> {
     pub fn checkpoint_now(&mut self) -> Result<(), GraphError> {
         if let Some(store) = &mut self.persist {
             store
-                .checkpoint(self.graph.graph())
+                .checkpoint(self.graph.graph_mut())
                 .map_err(|e| GraphError::Io(e.into()))?;
         }
         Ok(())
@@ -302,19 +314,22 @@ impl<A: MonotonicAlgorithm> QueryServer<A> {
     ///
     /// # Errors
     ///
-    /// Propagates graph-mutation failures (deleting an absent edge,
-    /// out-of-bounds endpoints) *before* any shard has run, so standing
-    /// query state is never half-updated.
+    /// Rejects invalid batches (deleting an absent edge, out-of-bounds
+    /// endpoints) up front — before the WAL append and before the graph
+    /// mutation — so a failed call leaves the durable log, the graph, and
+    /// all standing query state exactly as they were.
     ///
     /// # Panics
     ///
     /// Panics if a worker thread panics.
     pub fn process_batch(&mut self, batch: &[EdgeUpdate]) -> Result<ServeReport, GraphError> {
         let _span = cisgraph_obs::span("serve.batch");
+        // Validate-before-log: a batch the graph would reject must reach
+        // neither the WAL (every later recovery would replay the poisoned
+        // frame and fail) nor the graph, so a rejected batch leaves both
+        // the durable log and the in-memory state exactly as they were.
+        self.graph.graph().validate_batch(batch)?;
         if let Some(store) = &mut self.persist {
-            // Log-before-apply: once a batch has touched the graph, its
-            // frame is already on the WAL, so recovery replays exactly the
-            // applied prefix (apply_batch is deterministic under errors).
             let _wal = cisgraph_obs::span("serve.wal_append");
             store
                 .log_batch(batch)
@@ -350,7 +365,7 @@ impl<A: MonotonicAlgorithm> QueryServer<A> {
         self.record_obs(&per_shard, &report);
         if let Some(store) = &mut self.persist {
             store
-                .maybe_checkpoint(self.graph.graph())
+                .maybe_checkpoint(self.graph.graph_mut())
                 .map_err(|e| GraphError::Io(e.into()))?;
         }
         Ok(report)
@@ -666,6 +681,89 @@ mod tests {
 
         // Restart: recovery + re-registration must reproduce both the
         // graph (byte-identically) and every standing answer.
+        let (_store, recovered) = DurableStore::open(cfg, bootstrap).unwrap();
+        assert_eq!(recovered.graph.snapshot(), expected_snapshot);
+        let server2 =
+            QueryServer::<Ppsp>::new(recovered.graph, &queries, &ServeConfig::with_threads(3));
+        assert_eq!(server2.answers(), expected_answers);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Regression: a batch the graph rejects must never reach the WAL.
+    /// Before validate-before-log, the frame was already durable when
+    /// `apply_batch` failed, so every later recovery replayed the poisoned
+    /// frame and died.
+    #[test]
+    fn rejected_batch_never_reaches_the_wal() {
+        use cisgraph_persist::{DurableStore, PersistConfig};
+
+        let dir =
+            std::env::temp_dir().join(format!("cisgraph_serve_wal_poison_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut g = DynamicGraph::new(3);
+        g.insert_edge(v(0), v(1), Weight::ONE).unwrap();
+        let bootstrap = move || g.clone();
+
+        let cfg = PersistConfig::new(&dir);
+        let (store, recovered) = DurableStore::open(cfg.clone(), bootstrap.clone()).unwrap();
+        let queries = vec![PairQuery::new(v(0), v(1)).unwrap()];
+        let mut server =
+            QueryServer::<Ppsp>::new(recovered.graph, &queries, &ServeConfig::with_threads(1));
+        server.attach_durability(store);
+
+        let good = [EdgeUpdate::insert(v(1), v(2), Weight::ONE)];
+        server.process_batch(&good).unwrap();
+        let expected_snapshot = server.graph().snapshot();
+        let expected_answers = server.answers();
+
+        // Deleting an edge that was never inserted is rejected up front.
+        let bad = [EdgeUpdate::delete(v(2), v(0), Weight::ONE)];
+        assert!(server.process_batch(&bad).is_err());
+        assert_eq!(server.graph().snapshot(), expected_snapshot);
+        assert_eq!(server.answers(), expected_answers);
+        drop(server); // "crash" after the rejected batch
+
+        // Restart: only the good batch was logged, so recovery replays a
+        // clean WAL and lands on the pre-rejection state.
+        let (_store, recovered) = DurableStore::open(cfg, bootstrap).unwrap();
+        assert_eq!(recovered.stats.replayed_batches, 1);
+        assert_eq!(recovered.graph.snapshot(), expected_snapshot);
+        let server2 =
+            QueryServer::<Ppsp>::new(recovered.graph, &queries, &ServeConfig::with_threads(1));
+        assert_eq!(server2.answers(), expected_answers);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// End-to-end serve with delta checkpoints on the background worker:
+    /// restart must land on the same graph bytes and standing answers as
+    /// the uninterrupted run.
+    #[test]
+    fn durable_server_with_background_delta_checkpoints_recovers() {
+        use cisgraph_persist::{DurableStore, PersistConfig};
+
+        let dir =
+            std::env::temp_dir().join(format!("cisgraph_serve_delta_bg_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (g, queries, batches) = scenario();
+        let bootstrap = move || g.clone();
+
+        let mut cfg = PersistConfig::new(&dir);
+        cfg.checkpoint_every = Some(1);
+        cfg.mode = CheckpointMode::Delta;
+        cfg.full_every = 3;
+        cfg.background = true;
+        let (store, recovered) = DurableStore::open(cfg.clone(), bootstrap.clone()).unwrap();
+        let mut server =
+            QueryServer::<Ppsp>::new(recovered.graph, &queries, &ServeConfig::with_threads(2));
+        server.attach_durability(store);
+        for batch in &batches {
+            server.process_batch(batch).unwrap();
+        }
+        server.checkpoint_now().unwrap();
+        let expected_answers = server.answers();
+        let expected_snapshot = server.graph().snapshot();
+        drop(server);
+
         let (_store, recovered) = DurableStore::open(cfg, bootstrap).unwrap();
         assert_eq!(recovered.graph.snapshot(), expected_snapshot);
         let server2 =

@@ -3,7 +3,7 @@
 use crate::adjacency::{AdjacencyList, DEFAULT_PROMOTION_THRESHOLD};
 use crate::{Csr, Edge, GraphError, GraphView, Snapshot, SnapshotScratch};
 use cisgraph_types::{EdgeUpdate, UpdateKind, VertexId, Weight};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
 /// Batches shorter than this skip the pre-grouping reservation pass: the
@@ -54,6 +54,10 @@ pub struct DynamicGraph {
     threshold: usize,
     /// Lifetime count of list promotions (out- and in-lists both count).
     promotions: u64,
+    /// When `Some`, source vertices whose out-list changed since the last
+    /// [`DynamicGraph::take_dirty_rows`]. Off by default (no per-update
+    /// cost); delta checkpointing opts in.
+    dirty: Option<HashSet<u32>>,
 }
 
 impl Default for DynamicGraph {
@@ -81,6 +85,40 @@ impl DynamicGraph {
             num_edges: 0,
             threshold,
             promotions: 0,
+            dirty: None,
+        }
+    }
+
+    /// Starts tracking which rows' out-adjacency changes. Idempotent: a
+    /// repeated call never clears rows already recorded. Only **source**
+    /// vertices are tracked — checkpoints serialize the forward CSR only,
+    /// so the reverse side is derived state.
+    pub fn enable_dirty_rows(&mut self) {
+        if self.dirty.is_none() {
+            self.dirty = Some(HashSet::new());
+        }
+    }
+
+    /// Whether [`DynamicGraph::enable_dirty_rows`] has been called.
+    pub fn dirty_rows_enabled(&self) -> bool {
+        self.dirty.is_some()
+    }
+
+    /// Takes the set of source rows mutated since the last call, sorted
+    /// ascending, and resets tracking to empty. Returns `None` when
+    /// tracking was never enabled (callers must then fall back to a full
+    /// serialization).
+    pub fn take_dirty_rows(&mut self) -> Option<Vec<u32>> {
+        let set = self.dirty.as_mut()?;
+        let mut rows: Vec<u32> = set.drain().collect();
+        rows.sort_unstable();
+        Some(rows)
+    }
+
+    #[inline]
+    fn mark_dirty(&mut self, src: VertexId) {
+        if let Some(dirty) = &mut self.dirty {
+            dirty.insert(src.raw());
         }
     }
 
@@ -135,6 +173,7 @@ impl DynamicGraph {
             self.promotions += 1;
         }
         self.num_edges += 1;
+        self.mark_dirty(u);
     }
 
     /// Inserts the edge `u -> v` with weight `w`.
@@ -176,6 +215,7 @@ impl DynamicGraph {
             .remove_exact(u, removed.weight())
             .expect("in-adjacency out of sync with out-adjacency");
         self.num_edges -= 1;
+        self.mark_dirty(u);
         Ok(removed.weight())
     }
 
@@ -245,6 +285,56 @@ impl DynamicGraph {
             Some(e) => Err(e),
             None => Ok(()),
         }
+    }
+
+    /// Checks whether [`DynamicGraph::apply_batch`] would accept the whole
+    /// batch, **without mutating anything**. A write-ahead log can call
+    /// this before persisting a frame so a rejected batch never reaches
+    /// disk (or the graph).
+    ///
+    /// The simulation tracks per-`(src, dst)` edge multiplicity: a delete
+    /// succeeds iff at least one `src -> dst` edge would exist at that
+    /// point in the stream, which matches [`DynamicGraph::remove_edge`]'s
+    /// semantics exactly — it removes *some* matching edge regardless of
+    /// weight, preferring an exact-weight match only for victim selection.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error `apply_batch` would report for the first
+    /// offending update: [`GraphError::VertexOutOfBounds`] or
+    /// [`GraphError::EdgeNotFound`].
+    pub fn validate_batch(&self, batch: &[EdgeUpdate]) -> Result<(), GraphError> {
+        // `delta` is the net multiplicity change the batch prefix would
+        // have made; `base` memoizes the standing multiplicity (one
+        // out-list scan per distinct pair, on demand).
+        let mut delta: HashMap<(u32, u32), i64> = HashMap::new();
+        let mut base: HashMap<(u32, u32), i64> = HashMap::new();
+        for u in batch {
+            self.check(u.src())?;
+            self.check(u.dst())?;
+            let key = (u.src().raw(), u.dst().raw());
+            match u.kind() {
+                UpdateKind::Insert => *delta.entry(key).or_insert(0) += 1,
+                UpdateKind::Delete => {
+                    let b = *base.entry(key).or_insert_with(|| {
+                        self.out[u.src().index()]
+                            .as_slice()
+                            .iter()
+                            .filter(|e| e.to() == u.dst())
+                            .count() as i64
+                    });
+                    let d = delta.entry(key).or_insert(0);
+                    if b + *d <= 0 {
+                        return Err(GraphError::EdgeNotFound {
+                            src: u.src(),
+                            dst: u.dst(),
+                        });
+                    }
+                    *d -= 1;
+                }
+            }
+        }
+        Ok(())
     }
 
     /// The batch fast-path pre-pass: tally per-endpoint insertion counts so
@@ -621,6 +711,66 @@ mod tests {
         // Recycle and rebuild: the reused buffers must not leak stale data.
         scratch.recycle(first);
         assert_eq!(serial, g.snapshot_with(&mut scratch, 2));
+    }
+
+    #[test]
+    fn dirty_rows_track_sources_only() {
+        let mut g = DynamicGraph::new(4);
+        assert!(!g.dirty_rows_enabled());
+        assert_eq!(g.take_dirty_rows(), None, "disabled tracking returns None");
+        g.enable_dirty_rows();
+        g.insert_edge(v(2), v(0), w(1.0)).unwrap();
+        g.insert_edge(v(0), v(3), w(1.0)).unwrap();
+        g.remove_edge(v(2), v(0), None).unwrap();
+        assert_eq!(g.take_dirty_rows(), Some(vec![0, 2]), "sorted src rows");
+        assert_eq!(g.take_dirty_rows(), Some(vec![]), "take resets the set");
+        // Failed mutations must not dirty anything.
+        assert!(g.remove_edge(v(1), v(2), None).is_err());
+        assert_eq!(g.take_dirty_rows(), Some(vec![]));
+        // Re-enabling must not clear rows recorded since the last take.
+        g.insert_edge(v(3), v(1), w(1.0)).unwrap();
+        g.enable_dirty_rows();
+        assert_eq!(g.take_dirty_rows(), Some(vec![3]));
+    }
+
+    #[test]
+    fn validate_batch_agrees_with_apply_batch() {
+        let mut g = DynamicGraph::new(4);
+        g.insert_edge(v(0), v(1), w(1.0)).unwrap();
+        let cases: Vec<Vec<EdgeUpdate>> = vec![
+            vec![EdgeUpdate::insert(v(1), v(2), w(1.0))],
+            // Delete of a standing edge, then a second delete that must fail.
+            vec![
+                EdgeUpdate::delete(v(0), v(1), w(1.0)),
+                EdgeUpdate::delete(v(0), v(1), w(1.0)),
+            ],
+            // Insert-then-delete inside one batch is fine.
+            vec![
+                EdgeUpdate::insert(v(2), v(3), w(2.0)),
+                EdgeUpdate::delete(v(2), v(3), w(2.0)),
+            ],
+            // Delete before the matching insert fails.
+            vec![
+                EdgeUpdate::delete(v(2), v(3), w(2.0)),
+                EdgeUpdate::insert(v(2), v(3), w(2.0)),
+            ],
+            // Out-of-bounds endpoint.
+            vec![EdgeUpdate::insert(v(0), v(9), w(1.0))],
+            // Delete with a non-matching weight still succeeds (remove_edge
+            // falls back to the first matching destination).
+            vec![EdgeUpdate::delete(v(0), v(1), w(42.0))],
+        ];
+        for batch in cases {
+            let verdict = g.validate_batch(&batch);
+            let mut probe = g.clone();
+            let applied = probe.apply_batch(&batch);
+            assert_eq!(
+                verdict.is_ok(),
+                applied.is_ok(),
+                "validate/apply disagree on {batch:?}"
+            );
+            assert_eq!(g.num_edges(), 1, "validate_batch must not mutate");
+        }
     }
 
     #[test]

@@ -72,6 +72,14 @@ impl SharedGraph {
         &self.inner
     }
 
+    /// Mutable access to the underlying graph, with the same copy-on-write
+    /// semantics as [`SharedGraph::apply_batch`]: storage is cloned first
+    /// iff other handles to this snapshot are still alive. Used by the
+    /// durability layer for non-topology mutations (dirty-row bookkeeping).
+    pub fn graph_mut(&mut self) -> &mut DynamicGraph {
+        Arc::make_mut(&mut self.inner)
+    }
+
     /// Applies a whole batch with copy-on-write semantics: storage is
     /// cloned first iff other handles to this snapshot are still alive.
     ///

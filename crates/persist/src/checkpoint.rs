@@ -26,8 +26,7 @@
 //! only then renamed into place, so a crash mid-checkpoint leaves at worst
 //! a stale temp file that recovery ignores.
 
-use std::fs::{self, File, OpenOptions};
-use std::io::Write;
+use std::fs;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -59,8 +58,9 @@ pub(crate) fn parse_file_name(name: &str) -> Option<u64> {
     u64::from_str_radix(hex, 16).ok()
 }
 
-/// All checkpoints in `dir` as `(next_seq, path)`, ascending by the WAL
-/// position they cover.
+/// All **full** checkpoints in `dir` as `(next_seq, path)`, ascending by
+/// the WAL position they cover. Delta checkpoints (see [`crate::delta`])
+/// live in `.dckpt` siblings and are listed by [`list_all`].
 pub fn list(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
     let mut checkpoints = Vec::new();
     for entry in fs::read_dir(dir)? {
@@ -73,22 +73,75 @@ pub fn list(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
     Ok(checkpoints)
 }
 
+/// The kind of a checkpoint file on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CkptKind {
+    /// A full forward-CSR serialization (`.ckpt`).
+    Full,
+    /// Changed rows relative to a parent checkpoint (`.dckpt`).
+    Delta,
+}
+
+/// One checkpoint file (full or delta) found on disk.
+#[derive(Debug, Clone)]
+pub struct CheckpointEntry {
+    /// The WAL position the checkpoint covers.
+    pub next_seq: u64,
+    /// Full or delta.
+    pub kind: CkptKind,
+    /// The file's path.
+    pub path: PathBuf,
+}
+
+/// Every checkpoint in `dir` — full and delta — ascending by covered WAL
+/// position. At equal `next_seq` the full checkpoint sorts **after** the
+/// delta, so a newest-first scan prefers the self-contained file.
+pub fn list_all(dir: &Path) -> Result<Vec<CheckpointEntry>> {
+    let mut entries = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(next_seq) = parse_file_name(name) {
+            entries.push(CheckpointEntry {
+                next_seq,
+                kind: CkptKind::Full,
+                path: entry.path(),
+            });
+        } else if let Some(next_seq) = crate::delta::parse_file_name(name) {
+            entries.push(CheckpointEntry {
+                next_seq,
+                kind: CkptKind::Delta,
+                path: entry.path(),
+            });
+        }
+    }
+    entries.sort_by_key(|e| (e.next_seq, e.kind == CkptKind::Full));
+    Ok(entries)
+}
+
 /// Serializes `graph`'s current topology as the checkpoint covering every
 /// update with sequence number below `next_seq`, atomically (temp file +
 /// rename). Returns the checkpoint's final path.
 pub fn write(dir: &Path, next_seq: u64, graph: &DynamicGraph) -> Result<PathBuf> {
+    let (forward, _reverse) = graph.snapshot().into_parts();
+    write_snapshot(dir, next_seq, graph.promotion_threshold() as u64, &forward)
+}
+
+/// Like [`write()`], but from an already-materialized forward CSR — the form
+/// the background checkpointer uses after the ingest thread has snapshotted.
+pub fn write_snapshot(dir: &Path, next_seq: u64, threshold: u64, forward: &Csr) -> Result<PathBuf> {
     let obs_on = cisgraph_obs::enabled();
     let start = obs_on.then(Instant::now);
     fs::create_dir_all(dir)?;
 
-    let (forward, _reverse) = graph.snapshot().into_parts();
     let n = forward.num_vertices();
     let m = forward.num_edges();
     let mut buf = BytesMut::with_capacity(FIXED_HEADER_BYTES + (n + 1) * 8 + m * 12 + 4);
     buf.put_u32_le(CHECKPOINT_MAGIC);
     buf.put_u32_le(CHECKPOINT_VERSION);
     buf.put_u64_le(next_seq);
-    buf.put_u64_le(graph.promotion_threshold() as u64);
+    buf.put_u64_le(threshold);
     buf.put_u64_le(n as u64);
     buf.put_u64_le(m as u64);
     for &offset in forward.offsets() {
@@ -101,28 +154,13 @@ pub fn write(dir: &Path, next_seq: u64, graph: &DynamicGraph) -> Result<PathBuf>
     buf.put_u32_le(crc32(&buf));
 
     let path = dir.join(file_name(next_seq));
-    let tmp = dir.join(format!("{}.tmp", file_name(next_seq)));
-    let mut file = OpenOptions::new()
-        .create(true)
-        .write(true)
-        .truncate(true)
-        .open(&tmp)?;
-    file.write_all(&buf)?;
-    file.sync_data()?;
-    drop(file);
-    fs::rename(&tmp, &path)?;
-    // Persist the rename itself so the checkpoint survives a crash that
-    // follows immediately. Directory fsync is best-effort: not every
-    // filesystem allows it.
-    if let Ok(d) = File::open(dir) {
-        let _ = d.sync_data();
-    }
+    crate::atomic_write(dir, &path, &buf)?;
 
     if obs_on {
-        cisgraph_obs::counter("persist.checkpoint.count").inc();
-        cisgraph_obs::counter("persist.checkpoint.bytes").add(buf.len() as u64);
+        cisgraph_obs::counter("persist.ckpt.full.count").inc();
+        cisgraph_obs::counter("persist.ckpt.full.bytes").add(buf.len() as u64);
         if let Some(start) = start {
-            cisgraph_obs::histogram("persist.checkpoint.write_ns")
+            cisgraph_obs::histogram("persist.ckpt.write_ns")
                 .record(start.elapsed().as_nanos() as u64);
         }
     }
@@ -138,6 +176,22 @@ pub fn write(dir: &Path, next_seq: u64, graph: &DynamicGraph) -> Result<PathBuf>
 /// CRC validation. Recovery treats that as "fall back to the previous
 /// checkpoint", not as fatal.
 pub fn load(path: &Path) -> Result<(u64, DynamicGraph)> {
+    let (next_seq, threshold, forward) = load_forward(path)?;
+    let threshold = usize::try_from(threshold).unwrap_or(usize::MAX);
+    Ok((
+        next_seq,
+        DynamicGraph::from_forward_csr(&forward, threshold),
+    ))
+}
+
+/// Loads and validates one checkpoint file without rebuilding adjacency:
+/// returns `(next_seq, threshold, forward CSR)`. Chain recovery uses this
+/// form so delta rows can be overlaid before the one final rebuild.
+///
+/// # Errors
+///
+/// Same as [`load`].
+pub fn load_forward(path: &Path) -> Result<(u64, u64, Csr)> {
     let bytes = fs::read(path)?;
     let corrupt = |offset: u64, reason: String| PersistError::corrupt(path, offset, reason);
     if bytes.len() < FIXED_HEADER_BYTES + 8 + 4 {
@@ -195,11 +249,7 @@ pub fn load(path: &Path) -> Result<(u64, DynamicGraph)> {
     }
     let forward = Csr::from_raw_parts(offsets, edges)
         .map_err(|e| corrupt(FIXED_HEADER_BYTES as u64, e.to_string()))?;
-    let threshold = usize::try_from(threshold).unwrap_or(usize::MAX);
-    Ok((
-        next_seq,
-        DynamicGraph::from_forward_csr(&forward, threshold),
-    ))
+    Ok((next_seq, threshold, forward))
 }
 
 #[cfg(test)]

@@ -1,0 +1,421 @@
+//! Delta checkpoints: only the CSR rows that changed since a parent.
+//!
+//! A full checkpoint's write cost grows with *graph size*; on a mostly
+//! stable graph almost all of those bytes restate rows that have not
+//! changed since the previous checkpoint. A delta checkpoint
+//! (`ckpt-{next_seq:016x}.dckpt`) instead records the parent it extends
+//! and the full out-adjacency payload of **only the rows whose out-list
+//! mutated** since that parent, so write amplification tracks the change
+//! rate:
+//!
+//! ```text
+//! +--------+---------+----------+------------+-----------+-------+----------+
+//! | magic  | version | next_seq | parent_seq | threshold | rows  | num_rows |
+//! | "CDLT" | u32 LE  | u64 LE   | u64 LE     | u64 LE    | u64   | u64      |
+//! +--------+---------+----------+------------+-----------+-------+----------+
+//! | per row (ascending row id):                                             |
+//! |   row u32 LE | len u64 LE | len x (dst u32 LE , weight f64 LE)          |
+//! +-------------------------------------------------------------------------+
+//! | crc: u32 LE over every byte above                                       |
+//! +-------------------------------------------------------------------------+
+//! ```
+//!
+//! `num_rows` is the graph's total vertex count at snapshot time: recovery
+//! must know it because vertex growth alone (new isolated rows) produces
+//! no dirty row, yet the recovered graph must have the grown vertex set.
+//! Rows present in the file replace the parent's row wholesale; rows
+//! absent are inherited; rows at indices the parent did not have default
+//! to empty.
+//!
+//! Recovery composes a chain: newest full checkpoint, then every retained
+//! delta in parent order (newest write wins per row), then the WAL tail.
+//! Writes are atomic exactly like full checkpoints (temp + fsync +
+//! rename), and the whole body is covered by one CRC-32, so a damaged
+//! delta is detected and the chain it heads is abandoned for an older one.
+
+use std::fs::{self, File};
+use std::io::Read;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use bytes::{Buf, BufMut, BytesMut};
+use cisgraph_graph::{Csr, Edge};
+use cisgraph_types::{VertexId, Weight};
+
+use crate::crc::crc32;
+use crate::error::PersistError;
+use crate::Result;
+
+/// Delta checkpoint magic: the bytes `CDLT` read as a little-endian `u32`.
+pub const DELTA_MAGIC: u32 = u32::from_le_bytes(*b"CDLT");
+
+/// Current delta checkpoint format version.
+pub const DELTA_VERSION: u32 = 1;
+
+const FIXED_HEADER_BYTES: usize = 4 + 4 + 8 + 8 + 8 + 8 + 8;
+
+pub(crate) fn file_name(next_seq: u64) -> String {
+    format!("ckpt-{next_seq:016x}.dckpt")
+}
+
+pub(crate) fn parse_file_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("ckpt-")?.strip_suffix(".dckpt")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// One changed row: its id and its complete post-change out-adjacency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaRow {
+    /// The source vertex this row belongs to.
+    pub row: u32,
+    /// The row's full out-adjacency after the change.
+    pub edges: Vec<Edge>,
+}
+
+/// A parsed, validated delta checkpoint.
+#[derive(Debug, Clone)]
+pub struct DeltaCheckpoint {
+    /// The WAL position this delta covers.
+    pub next_seq: u64,
+    /// The `next_seq` of the checkpoint this delta extends.
+    pub parent_seq: u64,
+    /// Promotion threshold of the graph at snapshot time.
+    pub threshold: u64,
+    /// Total vertex count at snapshot time.
+    pub num_rows: u64,
+    /// Changed rows, ascending by row id.
+    pub rows: Vec<DeltaRow>,
+}
+
+/// Extracts the changed rows' payloads from a forward CSR. `dirty` must be
+/// sorted ascending (the contract of
+/// [`DynamicGraph::take_dirty_rows`](cisgraph_graph::DynamicGraph::take_dirty_rows));
+/// rows at or past the CSR's vertex count are skipped (they can appear if
+/// the set was recorded against a larger graph than the snapshot — not
+/// possible today, but cheap to be safe about).
+pub fn rows_from_csr(forward: &Csr, dirty: &[u32]) -> Vec<DeltaRow> {
+    dirty
+        .iter()
+        .filter(|&&row| (row as usize) < forward.num_vertices())
+        .map(|&row| DeltaRow {
+            row,
+            edges: forward.neighbors(VertexId::new(row)).to_vec(),
+        })
+        .collect()
+}
+
+/// Like [`rows_from_csr`] but reads the live adjacency directly, so a
+/// delta checkpoint never has to materialize a full CSR snapshot. The
+/// out-adjacency slice is byte-for-byte what `Csr::from_adjacency` would
+/// copy into the row, so the two constructions agree exactly.
+pub fn rows_from_graph(graph: &cisgraph_graph::DynamicGraph, dirty: &[u32]) -> Vec<DeltaRow> {
+    use cisgraph_graph::GraphView;
+    dirty
+        .iter()
+        .filter(|&&row| (row as usize) < graph.num_vertices())
+        .map(|&row| DeltaRow {
+            row,
+            edges: graph.out_edges(VertexId::new(row)).to_vec(),
+        })
+        .collect()
+}
+
+/// Serializes a delta checkpoint covering every update below `next_seq`,
+/// extending the checkpoint that covers `parent_seq`. Atomic like
+/// [`checkpoint::write`](crate::checkpoint::write). Returns the final path.
+///
+/// An empty `rows` slice is valid and still worth writing: it advances the
+/// chain's covered WAL position, letting covered segments be pruned.
+pub fn write(
+    dir: &Path,
+    next_seq: u64,
+    parent_seq: u64,
+    threshold: u64,
+    num_rows: u64,
+    rows: &[DeltaRow],
+) -> Result<PathBuf> {
+    let obs_on = cisgraph_obs::enabled();
+    let start = obs_on.then(Instant::now);
+    fs::create_dir_all(dir)?;
+
+    let payload: usize = rows.iter().map(|r| 12 + r.edges.len() * 12).sum();
+    let mut buf = BytesMut::with_capacity(FIXED_HEADER_BYTES + payload + 4);
+    buf.put_u32_le(DELTA_MAGIC);
+    buf.put_u32_le(DELTA_VERSION);
+    buf.put_u64_le(next_seq);
+    buf.put_u64_le(parent_seq);
+    buf.put_u64_le(threshold);
+    buf.put_u64_le(rows.len() as u64);
+    buf.put_u64_le(num_rows);
+    for r in rows {
+        buf.put_u32_le(r.row);
+        buf.put_u64_le(r.edges.len() as u64);
+        for e in &r.edges {
+            buf.put_u32_le(e.to().raw());
+            buf.put_f64_le(e.weight().get());
+        }
+    }
+    buf.put_u32_le(crc32(&buf));
+
+    let path = dir.join(file_name(next_seq));
+    crate::atomic_write(dir, &path, &buf)?;
+
+    if obs_on {
+        cisgraph_obs::counter("persist.ckpt.delta.count").inc();
+        cisgraph_obs::counter("persist.ckpt.delta.bytes").add(buf.len() as u64);
+        cisgraph_obs::counter("persist.ckpt.delta.rows").add(rows.len() as u64);
+        if let Some(start) = start {
+            cisgraph_obs::histogram("persist.ckpt.write_ns")
+                .record(start.elapsed().as_nanos() as u64);
+        }
+    }
+    Ok(path)
+}
+
+/// Reads only a delta's fixed header, returning `(next_seq, parent_seq)`.
+/// Pruning uses this to walk parent links without paying for row payloads
+/// or full-file CRC validation (a corrupt delta still names its parent
+/// conservatively: an unreadable header just ends the ancestry walk).
+pub fn read_header(path: &Path) -> Result<(u64, u64)> {
+    let mut head = [0u8; FIXED_HEADER_BYTES];
+    let mut file = File::open(path)?;
+    file.read_exact(&mut head)
+        .map_err(|_| PersistError::corrupt(path, 0, "delta header truncated".to_string()))?;
+    let mut cursor = &head[..];
+    let magic = cursor.get_u32_le();
+    if magic != DELTA_MAGIC {
+        return Err(PersistError::corrupt(
+            path,
+            0,
+            format!("bad delta magic {magic:#010x}"),
+        ));
+    }
+    let _version = cursor.get_u32_le();
+    let next_seq = cursor.get_u64_le();
+    let parent_seq = cursor.get_u64_le();
+    Ok((next_seq, parent_seq))
+}
+
+/// Loads and validates one delta checkpoint file.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Corrupt`] if the file fails any structural or
+/// CRC validation. Chain recovery treats that as "abandon this chain head
+/// and fall back to an older one", not as fatal.
+pub fn load(path: &Path) -> Result<DeltaCheckpoint> {
+    let bytes = fs::read(path)?;
+    let corrupt = |offset: u64, reason: String| PersistError::corrupt(path, offset, reason);
+    if bytes.len() < FIXED_HEADER_BYTES + 4 {
+        return Err(corrupt(
+            bytes.len() as u64,
+            format!("delta checkpoint truncated at {} bytes", bytes.len()),
+        ));
+    }
+    let body_len = bytes.len() - 4;
+    let expect_crc = u32::from_le_bytes(bytes[body_len..].try_into().expect("4 bytes"));
+    let actual_crc = crc32(&bytes[..body_len]);
+    if actual_crc != expect_crc {
+        return Err(corrupt(
+            body_len as u64,
+            format!("delta crc {actual_crc:#010x} != recorded {expect_crc:#010x}"),
+        ));
+    }
+
+    let mut cursor = &bytes[..body_len];
+    let magic = cursor.get_u32_le();
+    if magic != DELTA_MAGIC {
+        return Err(corrupt(0, format!("bad delta magic {magic:#010x}")));
+    }
+    let version = cursor.get_u32_le();
+    if version != DELTA_VERSION {
+        return Err(corrupt(4, format!("unsupported delta version {version}")));
+    }
+    let next_seq = cursor.get_u64_le();
+    let parent_seq = cursor.get_u64_le();
+    if parent_seq > next_seq {
+        return Err(corrupt(
+            16,
+            format!("delta parent {parent_seq} is newer than its own position {next_seq}"),
+        ));
+    }
+    let threshold = cursor.get_u64_le();
+    let row_count = cursor.get_u64_le();
+    let num_rows = cursor.get_u64_le();
+    // Cap the speculative reservation: `row_count` is attacker-controlled
+    // until the per-row bounds checks below have walked the body.
+    let mut rows = Vec::with_capacity(usize::try_from(row_count).unwrap_or(0).min(1 << 16));
+    let mut prev_row: Option<u32> = None;
+    for i in 0..row_count {
+        if cursor.len() < 12 {
+            return Err(corrupt(
+                (body_len - cursor.len()) as u64,
+                format!("delta row {i} header truncated"),
+            ));
+        }
+        let row = cursor.get_u32_le();
+        if prev_row.is_some_and(|p| row <= p) {
+            return Err(corrupt(
+                (body_len - cursor.len()) as u64,
+                format!("delta rows not strictly ascending at row {row}"),
+            ));
+        }
+        if u64::from(row) >= num_rows {
+            return Err(corrupt(
+                (body_len - cursor.len()) as u64,
+                format!("delta row {row} outside vertex count {num_rows}"),
+            ));
+        }
+        prev_row = Some(row);
+        let len = cursor.get_u64_le();
+        let need = (len as usize)
+            .checked_mul(12)
+            .filter(|&n| n <= cursor.len());
+        let Some(_) = need else {
+            return Err(corrupt(
+                (body_len - cursor.len()) as u64,
+                format!("delta row {row} claims {len} edges but the body ends first"),
+            ));
+        };
+        let mut edges = Vec::with_capacity(len as usize);
+        for j in 0..len {
+            let dst = VertexId::new(cursor.get_u32_le());
+            let weight = Weight::new(cursor.get_f64_le()).map_err(|e| {
+                corrupt(
+                    (body_len - cursor.len()) as u64,
+                    format!("delta row {row} edge {j}: {e}"),
+                )
+            })?;
+            edges.push(Edge::new(dst, weight));
+        }
+        rows.push(DeltaRow { row, edges });
+    }
+    if !cursor.is_empty() {
+        return Err(corrupt(
+            (body_len - cursor.len()) as u64,
+            format!("{} trailing bytes after the last delta row", cursor.len()),
+        ));
+    }
+    Ok(DeltaCheckpoint {
+        next_seq,
+        parent_seq,
+        threshold,
+        num_rows,
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cisgraph_graph::DynamicGraph;
+    use cisgraph_types::EdgeUpdate;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cisgraph_delta_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample() -> (Csr, Vec<u32>) {
+        let mut g = DynamicGraph::with_promotion_threshold(8, 3);
+        g.enable_dirty_rows();
+        let batch: Vec<EdgeUpdate> = (0..20u32)
+            .map(|i| {
+                EdgeUpdate::insert(
+                    VertexId::new(i % 5),
+                    VertexId::new((i * 3 + 1) % 8),
+                    Weight::new(f64::from(i + 1)).unwrap(),
+                )
+            })
+            .collect();
+        g.apply_batch(&batch).unwrap();
+        let dirty = g.take_dirty_rows().unwrap();
+        let (forward, _) = g.snapshot().into_parts();
+        (forward, dirty)
+    }
+
+    #[test]
+    fn write_then_load_round_trips() {
+        let dir = tmpdir("roundtrip");
+        let (forward, dirty) = sample();
+        let rows = rows_from_csr(&forward, &dirty);
+        assert_eq!(dirty, vec![0, 1, 2, 3, 4]);
+        let path = write(&dir, 9, 4, 3, forward.num_vertices() as u64, &rows).unwrap();
+        assert_eq!(
+            path.file_name().unwrap().to_str(),
+            Some("ckpt-0000000000000009.dckpt")
+        );
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.next_seq, 9);
+        assert_eq!(loaded.parent_seq, 4);
+        assert_eq!(loaded.threshold, 3);
+        assert_eq!(loaded.num_rows, 8);
+        assert_eq!(loaded.rows, rows);
+        assert_eq!(read_header(&path).unwrap(), (9, 4));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_delta_is_valid() {
+        let dir = tmpdir("empty");
+        let path = write(&dir, 5, 3, 4, 16, &[]).unwrap();
+        let loaded = load(&path).unwrap();
+        assert!(loaded.rows.is_empty());
+        assert_eq!(loaded.num_rows, 16);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let dir = tmpdir("bitflip");
+        let (forward, dirty) = sample();
+        let rows = rows_from_csr(&forward, &dirty);
+        let path = write(&dir, 9, 4, 3, forward.num_vertices() as u64, &rows).unwrap();
+        let clean = fs::read(&path).unwrap();
+        let mut bytes = clean.clone();
+        for pos in 0..bytes.len() {
+            bytes[pos] ^= 0x10;
+            fs::write(&path, &bytes).unwrap();
+            match load(&path) {
+                Err(PersistError::Corrupt { .. }) => {}
+                other => panic!("flip at byte {pos} not caught: {other:?}"),
+            }
+            bytes[pos] ^= 0x10;
+        }
+        fs::write(&path, &clean).unwrap();
+        assert!(load(&path).is_ok());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let dir = tmpdir("trunc");
+        let (forward, dirty) = sample();
+        let rows = rows_from_csr(&forward, &dirty);
+        let path = write(&dir, 9, 4, 3, forward.num_vertices() as u64, &rows).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        for cut in [0, 8, FIXED_HEADER_BYTES, bytes.len() / 2, bytes.len() - 1] {
+            fs::write(&path, &bytes[..cut]).unwrap();
+            assert!(
+                matches!(load(&path), Err(PersistError::Corrupt { .. })),
+                "truncation to {cut} bytes not caught"
+            );
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_names_do_not_collide_with_full_checkpoints() {
+        assert_eq!(parse_file_name("ckpt-0000000000000009.dckpt"), Some(9));
+        assert_eq!(parse_file_name("ckpt-0000000000000009.ckpt"), None);
+        assert_eq!(
+            crate::checkpoint::parse_file_name("ckpt-0000000000000009.dckpt"),
+            None
+        );
+    }
+}

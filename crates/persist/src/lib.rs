@@ -67,11 +67,42 @@
 
 pub mod checkpoint;
 mod crc;
+pub mod delta;
 mod error;
 mod frame;
 pub mod recover;
 mod store;
 mod wal;
+
+/// Writes `bytes` atomically at `path`: temp sibling, fsync, rename, then
+/// a best-effort directory sync so the rename itself survives a crash that
+/// follows immediately. A crash at any step leaves at worst a stale `.tmp`
+/// file that recovery and listing ignore.
+pub(crate) fn atomic_write(
+    dir: &std::path::Path,
+    path: &std::path::Path,
+    bytes: &[u8],
+) -> Result<()> {
+    use std::io::Write;
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .expect("atomic_write target has a utf-8 file name");
+    let tmp = dir.join(format!("{file_name}.tmp"));
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(true)
+        .open(&tmp)?;
+    file.write_all(bytes)?;
+    file.sync_data()?;
+    drop(file);
+    std::fs::rename(&tmp, path)?;
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_data();
+    }
+    Ok(())
+}
 
 // Callers encoding frames by hand (fault injectors, the bench harness)
 // need the same `BytesMut` the codec takes.
@@ -81,7 +112,7 @@ pub use crc::crc32;
 pub use error::PersistError;
 pub use frame::{FrameDecode, WalFrame, FRAME_HEADER_BYTES, UPDATE_BYTES, WAL_FRAME_MAGIC};
 pub use recover::{recover, Recovered, RecoveryStats};
-pub use store::{snapshot_digest, DurableStore, PersistConfig};
+pub use store::{snapshot_digest, CheckpointMode, DurableStore, PersistConfig};
 pub use wal::{FsyncPolicy, Wal, WalConfig, DEFAULT_SEGMENT_BYTES};
 
 /// Convenience alias for this crate's results.

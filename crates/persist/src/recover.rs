@@ -5,10 +5,13 @@
 //! acknowledged batch stream — exactly the prefix that reached stable
 //! storage. Concretely:
 //!
-//! 1. checkpoints are tried newest-first; a checkpoint that fails its CRC
-//!    is skipped (falling back to an older one),
+//! 1. checkpoint **chains** are tried newest-first: a full checkpoint is a
+//!    chain of length one, a delta checkpoint heads the chain `full base ->
+//!    ... -> this delta` (each delta recording only the CSR rows that
+//!    changed, see [`crate::delta`]); a head whose chain has any corrupt or
+//!    missing link is skipped entirely (falling back to an older head),
 //! 2. segments are scanned in sequence order; frames already covered by
-//!    the checkpoint are skipped,
+//!    the chosen chain are skipped,
 //! 3. the first torn or corrupt frame ends the log: the damaged segment is
 //!    **truncated in place** at the last good frame boundary and any later
 //!    segments are deleted,
@@ -22,21 +25,28 @@ use std::fs::{self, OpenOptions};
 use std::path::Path;
 use std::time::Instant;
 
-use cisgraph_graph::DynamicGraph;
+use cisgraph_graph::{Csr, DynamicGraph, Edge};
+use cisgraph_types::VertexId;
 
+use crate::checkpoint::{CheckpointEntry, CkptKind};
 use crate::error::PersistError;
 use crate::frame::{FrameDecode, WalFrame};
 use crate::wal::list_segments;
-use crate::{checkpoint, Result};
+use crate::{checkpoint, delta, Result};
 
 /// What recovery did, for logs, tests, and the `persist.recover.*` metrics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RecoveryStats {
-    /// The WAL position covered by the checkpoint recovery started from
-    /// (0 when no checkpoint existed and the bootstrap graph was used).
+    /// The WAL position covered by the checkpoint chain recovery started
+    /// from (0 when no checkpoint existed and the bootstrap graph was
+    /// used).
     pub checkpoint_seq: u64,
-    /// Checkpoints that failed validation and were skipped.
+    /// Chain heads that failed validation — a corrupt file or a chain with
+    /// a missing/corrupt link — and were skipped.
     pub corrupt_checkpoints: u64,
+    /// Delta checkpoints overlaid onto the full base (0 when recovery
+    /// started from a full checkpoint or the bootstrap graph).
+    pub delta_checkpoints: u64,
     /// Frames already covered by the checkpoint and therefore skipped.
     pub skipped_frames: u64,
     /// Batches replayed onto the checkpoint.
@@ -76,20 +86,35 @@ pub struct Recovered {
 /// refuses to guess. Tail damage in the WAL itself is not an error; it is
 /// truncated (see [`RecoveryStats::truncated_bytes`]).
 pub fn recover(dir: &Path, bootstrap: impl FnOnce() -> DynamicGraph) -> Result<Recovered> {
+    recover_with(dir, bootstrap, false)
+}
+
+/// [`recover`], optionally enabling
+/// [`DynamicGraph::enable_dirty_rows`] on the loaded (or bootstrap) graph
+/// **before** the WAL tail is replayed. Delta-mode stores need this: rows
+/// the tail mutates are exactly the rows the first post-restart delta
+/// checkpoint must carry.
+pub fn recover_with(
+    dir: &Path,
+    bootstrap: impl FnOnce() -> DynamicGraph,
+    track_dirty: bool,
+) -> Result<Recovered> {
     let obs_on = cisgraph_obs::enabled();
     let start = obs_on.then(Instant::now);
     fs::create_dir_all(dir)?;
     let mut stats = RecoveryStats::default();
 
-    // Newest readable checkpoint, falling back on CRC failure.
-    let checkpoints = checkpoint::list(dir)?;
-    let had_checkpoints = !checkpoints.is_empty();
+    // Newest readable checkpoint chain, falling back a whole head at a
+    // time: a delta whose ancestry is damaged anywhere is useless, but an
+    // older head (often the full base itself) may still be intact.
+    let entries = checkpoint::list_all(dir)?;
+    let had_checkpoints = !entries.is_empty();
     let mut loaded = None;
-    for (next_seq, path) in checkpoints.iter().rev() {
-        match checkpoint::load(path) {
-            Ok((seq, graph)) => {
-                debug_assert_eq!(seq, *next_seq);
-                loaded = Some((seq, graph));
+    for head in entries.iter().rev() {
+        match load_chain(&entries, head) {
+            Ok((graph, deltas_applied)) => {
+                stats.delta_checkpoints = deltas_applied;
+                loaded = Some((head.next_seq, graph));
                 break;
             }
             Err(PersistError::Corrupt { .. }) => stats.corrupt_checkpoints += 1,
@@ -99,19 +124,22 @@ pub fn recover(dir: &Path, bootstrap: impl FnOnce() -> DynamicGraph) -> Result<R
     let (mut replay_pos, mut graph) = match loaded {
         Some((seq, graph)) => (seq, graph),
         None if had_checkpoints => {
-            let (_, newest) = checkpoints.last().expect("nonempty");
+            let newest = &entries.last().expect("nonempty").path;
             return Err(PersistError::corrupt(
                 newest.clone(),
                 0,
                 format!(
                     "all {} checkpoints failed validation; refusing to replay from scratch",
-                    checkpoints.len()
+                    entries.len()
                 ),
             ));
         }
         None => (0, bootstrap()),
     };
     stats.checkpoint_seq = replay_pos;
+    if track_dirty {
+        graph.enable_dirty_rows();
+    }
 
     // Replay segments in order, stopping at the first damage.
     let segments = list_segments(dir)?;
@@ -185,6 +213,88 @@ pub fn recover(dir: &Path, bootstrap: impl FnOnce() -> DynamicGraph) -> Result<R
         next_seq: replay_pos,
         stats,
     })
+}
+
+/// Loads the checkpoint chain headed by `head`: follows delta parent links
+/// (preferring a full checkpoint when one shares the parent's position)
+/// down to a full base, overlays delta rows oldest-first so the newest
+/// write wins per row, and rebuilds the dynamic graph once at the end.
+/// Returns the graph and how many deltas were applied.
+///
+/// Any corrupt or missing link makes the whole chain unusable — the error
+/// propagates and the caller falls back to an older head.
+fn load_chain(entries: &[CheckpointEntry], head: &CheckpointEntry) -> Result<(DynamicGraph, u64)> {
+    // Walk parent links, accumulating deltas newest-first.
+    let mut deltas = Vec::new();
+    let mut cur = head.clone();
+    let (threshold, base) = loop {
+        match cur.kind {
+            CkptKind::Full => {
+                let (seq, threshold, forward) = checkpoint::load_forward(&cur.path)?;
+                debug_assert_eq!(seq, cur.next_seq);
+                break (threshold, forward);
+            }
+            CkptKind::Delta => {
+                let d = delta::load(&cur.path)?;
+                let parent_seq = d.parent_seq;
+                let self_path = cur.path;
+                deltas.push(d);
+                // `entries` is ascending with fulls after deltas at equal
+                // seq, so a reverse scan prefers the full parent. A delta
+                // must never resolve its own file as its parent
+                // (parent_seq == next_seq after an idle checkpoint).
+                let parent = entries
+                    .iter()
+                    .rev()
+                    .find(|e| e.next_seq == parent_seq && e.path != self_path)
+                    .ok_or_else(|| {
+                        PersistError::corrupt(
+                            &self_path,
+                            0,
+                            format!("delta parent covering seq {parent_seq} is missing"),
+                        )
+                    })?;
+                cur = parent.clone();
+            }
+        }
+    };
+
+    if deltas.is_empty() {
+        let threshold = usize::try_from(threshold).unwrap_or(usize::MAX);
+        return Ok((DynamicGraph::from_forward_csr(&base, threshold), 0));
+    }
+
+    // The newest delta speaks for the final shape of the graph.
+    let newest = &deltas[0];
+    let num_rows = usize::try_from(newest.num_rows).unwrap_or(usize::MAX);
+    let final_threshold = usize::try_from(newest.threshold).unwrap_or(usize::MAX);
+    let applied = deltas.len() as u64;
+
+    let mut overrides: std::collections::HashMap<u32, Vec<Edge>> = std::collections::HashMap::new();
+    for d in deltas.into_iter().rev() {
+        for r in d.rows {
+            overrides.insert(r.row, r.edges);
+        }
+    }
+
+    let mut offsets = Vec::with_capacity(num_rows + 1);
+    let mut edges: Vec<Edge> = Vec::with_capacity(base.num_edges());
+    offsets.push(0u64);
+    for row in 0..num_rows {
+        let row_edges: &[Edge] = match overrides.get(&(row as u32)) {
+            Some(e) => e,
+            None if row < base.num_vertices() => base.neighbors(VertexId::from_index(row)),
+            None => &[],
+        };
+        edges.extend_from_slice(row_edges);
+        offsets.push(edges.len() as u64);
+    }
+    let forward = Csr::from_raw_parts(offsets, edges)
+        .map_err(|e| PersistError::corrupt(&head.path, 0, e.to_string()))?;
+    Ok((
+        DynamicGraph::from_forward_csr(&forward, final_threshold),
+        applied,
+    ))
 }
 
 #[cfg(test)]

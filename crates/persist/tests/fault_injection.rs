@@ -7,7 +7,9 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use cisgraph_graph::{DynamicGraph, Snapshot};
-use cisgraph_persist::{recover, snapshot_digest, DurableStore, FsyncPolicy, PersistConfig};
+use cisgraph_persist::{
+    recover, snapshot_digest, CheckpointMode, DurableStore, FsyncPolicy, PersistConfig,
+};
 use cisgraph_types::{EdgeUpdate, VertexId, Weight};
 
 const N: u32 = 10;
@@ -47,7 +49,7 @@ fn run_history(dir: &Path, checkpoint_every: Option<u64>) -> Vec<Snapshot> {
         let batch: Vec<EdgeUpdate> = (0..PER_BATCH).map(|i| update(b * PER_BATCH + i)).collect();
         store.log_batch(&batch).unwrap();
         let _ = graph.apply_batch(&batch);
-        store.maybe_checkpoint(&graph).unwrap();
+        store.maybe_checkpoint(&mut graph).unwrap();
         states.push(graph.snapshot());
     }
     states
@@ -194,7 +196,7 @@ fn corrupt_checkpoint_falls_back_then_replays_wal() {
         let batch: Vec<EdgeUpdate> = (0..PER_BATCH).map(|i| update(b * PER_BATCH + i)).collect();
         store.log_batch(&batch).unwrap();
         let _ = graph.apply_batch(&batch);
-        store.maybe_checkpoint(&graph).unwrap();
+        store.maybe_checkpoint(&mut graph).unwrap();
         states.push(graph.snapshot());
     }
     drop(store);
@@ -224,6 +226,173 @@ fn corrupt_checkpoint_falls_back_then_replays_wal() {
         r.stats.replayed_batches > 0,
         "fallback must replay the tail"
     );
+    assert_eq!(r.next_seq, u64::from(BATCHES));
+    assert_eq!(r.graph.snapshot(), *states.last().unwrap());
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Runs a delta-mode history (optionally through the background worker)
+/// and returns the per-prefix reference snapshots.
+fn run_delta_history(dir: &Path, background: bool) -> Vec<Snapshot> {
+    let mut cfg = PersistConfig::new(dir);
+    cfg.fsync = FsyncPolicy::Never;
+    cfg.checkpoint_every = Some(2);
+    cfg.keep_checkpoints = 4;
+    cfg.mode = CheckpointMode::Delta;
+    cfg.full_every = 3;
+    cfg.background = background;
+    let (mut store, recovered) = DurableStore::open(cfg, bootstrap).unwrap();
+    let mut graph = recovered.graph;
+    let mut states = vec![graph.snapshot()];
+    for b in 0..BATCHES {
+        let batch: Vec<EdgeUpdate> = (0..PER_BATCH).map(|i| update(b * PER_BATCH + i)).collect();
+        store.log_batch(&batch).unwrap();
+        let _ = graph.apply_batch(&batch);
+        store.maybe_checkpoint(&mut graph).unwrap();
+        states.push(graph.snapshot());
+    }
+    // Graceful drop drains any in-flight background write.
+    states
+}
+
+/// All checkpoint files (full and delta), sorted by file name — which is
+/// sorted by the `next_seq` the name encodes.
+fn checkpoint_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out: Vec<_> = fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("ckpt-") && !n.ends_with(".tmp"))
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// The background worker writes to a `.tmp` sibling, fsyncs, then renames.
+/// A kill between the write and the rename leaves the `.tmp` behind (both
+/// fully-written and garbage shapes); recovery and later opens must ignore
+/// it and land on the previous chain exactly as if the checkpoint had
+/// never started.
+#[test]
+fn crash_between_tmp_write_and_rename_is_invisible() {
+    let dir = tmpdir("ckpt_tmp_crash");
+    let states = run_delta_history(&dir, true);
+    let ckpts = checkpoint_files(&dir);
+    let newest = ckpts.last().expect("history wrote checkpoints");
+
+    let clean = recover(&dir, bootstrap).unwrap();
+    assert_eq!(clean.next_seq, u64::from(BATCHES));
+
+    // Kill shape 1: the temp file is complete (valid bytes) but the rename
+    // never happened — plant a bit-for-bit copy of a real checkpoint.
+    let tmp_complete = dir.join("ckpt-00000000deadbeef.dckpt.tmp");
+    fs::copy(newest, &tmp_complete).unwrap();
+    // Kill shape 2: the temp file is a partial garbage write.
+    let tmp_garbage = dir.join("ckpt-00000000deadbeee.ckpt.tmp");
+    fs::write(&tmp_garbage, b"\x00\x01torn").unwrap();
+
+    let r = recover(&dir, bootstrap).unwrap();
+    assert_eq!(
+        r.stats.corrupt_checkpoints, 0,
+        "tmp files are not chain links"
+    );
+    assert_eq!(r.next_seq, u64::from(BATCHES));
+    assert_eq!(r.graph.snapshot(), *states.last().unwrap());
+
+    // A full reopen-resume cycle must also shrug the leftovers off.
+    let (_store, recovered) = DurableStore::open(
+        {
+            let mut cfg = PersistConfig::new(&dir);
+            cfg.fsync = FsyncPolicy::Never;
+            cfg.mode = CheckpointMode::Delta;
+            cfg
+        },
+        bootstrap,
+    )
+    .unwrap();
+    assert_eq!(recovered.graph.snapshot(), *states.last().unwrap());
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A crash that loses the newest checkpoint entirely (killed before the
+/// rename, so only older chain entries exist) must fall back to the
+/// previous chain and replay the WAL tail to the exact same final state —
+/// and with the WAL also gone, to the older chain's own coverage.
+#[test]
+fn lost_newest_checkpoint_falls_back_to_previous_chain() {
+    let dir = tmpdir("ckpt_lost_newest");
+    let states = run_delta_history(&dir, false);
+    let ckpts = checkpoint_files(&dir);
+    assert!(ckpts.len() >= 2, "need an older chain to fall back to");
+    fs::remove_file(ckpts.last().unwrap()).unwrap();
+
+    // WAL intact: the older chain plus replay reaches the full history.
+    let r = recover(&dir, bootstrap).unwrap();
+    assert_eq!(r.next_seq, u64::from(BATCHES));
+    assert!(
+        r.stats.replayed_batches > 0,
+        "fallback must replay the tail"
+    );
+    assert_eq!(r.graph.snapshot(), *states.last().unwrap());
+
+    // WAL obliterated: recovery lands exactly on the older chain's
+    // coverage — a clean strict prefix, not fabricated state.
+    for seg in fs::read_dir(&dir).unwrap().map(|e| e.unwrap().path()) {
+        if seg
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.ends_with(".seg"))
+        {
+            fs::write(&seg, b"").unwrap();
+        }
+    }
+    let r = recover(&dir, bootstrap).unwrap();
+    let next = r.next_seq as usize;
+    assert!(next < usize::try_from(BATCHES).unwrap() + 1);
+    assert_eq!(r.graph.snapshot(), states[next]);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Bit-flip sweep over every byte of every *delta* checkpoint: each flip
+/// must be detected (CRC or structural validation), counted, and recovered
+/// around — never panicking, never fabricating state.
+#[test]
+fn delta_checkpoint_bit_flip_sweep() {
+    let dir = tmpdir("delta_flip_sweep");
+    let states = run_delta_history(&dir, false);
+    let deltas: Vec<_> = checkpoint_files(&dir)
+        .into_iter()
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with(".dckpt"))
+        })
+        .collect();
+    assert!(!deltas.is_empty(), "history was sized to write deltas");
+
+    for path in &deltas {
+        let pristine = fs::read(path).unwrap();
+        for pos in (0..pristine.len()).step_by(3) {
+            let mut bytes = pristine.clone();
+            bytes[pos] ^= 0x10;
+            fs::write(path, &bytes).unwrap();
+            let r = recover(&dir, bootstrap).unwrap();
+            let next = r.next_seq as usize;
+            assert!(next < states.len(), "flip at {pos} over-recovered");
+            assert_eq!(
+                r.graph.snapshot(),
+                states[next],
+                "flip at byte {pos} of {} fabricated state",
+                path.display()
+            );
+        }
+        fs::write(path, &pristine).unwrap();
+    }
+    // Pristine chain still recovers in full after the sweep.
+    let r = recover(&dir, bootstrap).unwrap();
     assert_eq!(r.next_seq, u64::from(BATCHES));
     assert_eq!(r.graph.snapshot(), *states.last().unwrap());
     fs::remove_dir_all(&dir).unwrap();

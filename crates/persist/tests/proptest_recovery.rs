@@ -98,7 +98,7 @@ fn run_process(dir: &Path, batches: &[Vec<Op>], checkpoints: bool) -> Vec<Snapsh
         // Deletes may miss; the retained prefix is deterministic, which is
         // exactly what replay reproduces.
         let _ = graph.apply_batch(&updates);
-        store.maybe_checkpoint(&graph).unwrap();
+        store.maybe_checkpoint(&mut graph).unwrap();
         states.push(graph.snapshot());
     }
     states
@@ -273,7 +273,7 @@ proptest! {
             let updates: Vec<EdgeUpdate> = batch.iter().map(Op::update).collect();
             store.log_batch(&updates).unwrap();
             let _ = graph.apply_batch(&updates);
-            store.maybe_checkpoint(&graph).unwrap();
+            store.maybe_checkpoint(&mut graph).unwrap();
             states.push(graph.snapshot());
         }
         drop(store);
